@@ -1,0 +1,61 @@
+// Reproduces Example 1 (Section 2.2): the high-level power estimation
+// walkthrough on TEST1 with the Table 1 library — state probabilities,
+// average schedule length, per-FU-type expected operation counts and
+// energies, the interconnect/controller contribution, and the Vdd-scaling
+// step (paper: 119.11 cycles vs a 151.30-cycle base case gives 4.29V).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+int main() {
+  using namespace fact;
+  const workloads::Workload w = workloads::make_test1();
+  const auto lib = hlslib::Library::table1();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  const sched::ScheduleResult sr = scheduler.schedule(w.fn, profile);
+  const auto pi = stg::state_probabilities(sr.stg);
+
+  printf("Example 1: power estimation on TEST1 (Table 1 library, 25ns clock)\n");
+  bench::rule();
+  printf("State probabilities (paper's run: P_S0=0.008 ... P_S5=0.404):\n ");
+  for (size_t s = 0; s < pi.size(); ++s) printf(" P_S%zu=%.3f", s, pi[s]);
+  printf("\n\n");
+
+  const power::PowerOptions opts;
+  const power::PowerEstimate est = power::estimate_power(sr.stg, lib, opts);
+  printf("Average schedule length: %.2f cycles   [paper run: 119.11]\n\n",
+         est.avg_schedule_length);
+
+  printf("%-14s %16s %18s\n", "component", "ops/execution", "energy (xVdd^2)");
+  bench::rule();
+  for (const auto& [fu, n] : est.ops_per_exec)
+    printf("%-14s %16.2f %18.2f\n", fu.c_str(), n, est.energy_coeff.at(fu));
+  printf("%-14s %16.2f %18.2f\n", "<registers>", est.reg_accesses_per_exec,
+         est.energy_coeff.at("<registers>"));
+  printf("%-14s %16s %18.2f\n", "<overhead>", "-",
+         est.energy_coeff.at("<overhead>"));
+  bench::rule();
+  printf("%-14s %16s %18.2f   [paper run: 665.58]\n", "total", "-",
+         est.energy_coeff_total);
+  printf("\nPower at 5V: %.4f units\n\n", est.power);
+
+  // Vdd scaling against a base case 151.30/119.11 slower, as in the paper.
+  const double base_len = est.avg_schedule_length * 151.30 / 119.11;
+  const power::PowerEstimate scaled =
+      power::estimate_power_scaled(sr.stg, lib, base_len, opts);
+  printf("Vdd scaling: matching a %.2f-cycle base case\n", base_len);
+  printf("  scaled Vdd   : %.3f V    [paper: 4.29 V — exact-math check: %s]\n",
+         scaled.vdd,
+         std::abs(hlslib::scale_vdd_for_slowdown(119.11, 151.30, 1.0) - 4.29) <
+                 0.005
+             ? "PASS"
+             : "FAIL");
+  printf("  scaled power : %.4f units (%.1f%% below the 5V figure)\n",
+         scaled.power, 100.0 * (1.0 - scaled.power / est.power));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// Reproduces Figure 4 / Example 3: applying distributivity across basic
+// blocks. The behavior computes p = x1*x2, q = x1*x3 under condition C and
+// p = x4, q = x5 otherwise (the paper's two join operations with mutually
+// exclusive input pairs), then out = p - q. Under one multiplier and two
+// subtracters the original takes 3 cycles on the C-path (two serialized
+// multiplies + subtract); after speculation + select fusion +
+// distributivity it takes 2 (one subtract, one multiply).
+
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "cdfg/cdfg.hpp"
+#include "lang/parser.hpp"
+
+namespace {
+
+double c_path_cycles(const fact::ir::Function& fn, const fact::bench::Env& env,
+                     const fact::hlslib::Allocation& alloc) {
+  using namespace fact;
+  const sim::Trace trace = sim::generate_trace(fn, {}, env.seed);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  sched::Scheduler scheduler(env.lib, alloc, env.sel, env.sched_opts);
+  const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
+  return stg::average_schedule_length(sr.stg);
+}
+
+}  // namespace
+
+int main() {
+  using namespace fact;
+  bench::Env env;
+  hlslib::Allocation alloc;
+  alloc.counts = {{"mt1", 1}, {"sb1", 2}, {"cp1", 1}};
+
+  const ir::Function fn = lang::parse_function(R"(
+F(int c, int x1, int x2, int x3, int x4, int x5) {
+  int p = 0;
+  int q = 0;
+  if (c > 0) { p = x1 * x2; q = x1 * x3; } else { p = x4; q = x5; }
+  int out = p - q;
+  output out;
+}
+)");
+  printf("Figure 4(a): behavior with two joins (mutually exclusive pairs\n"
+         "{x2,x5} and {x3,x4}); allocation: 1 mt1, 2 sb1, 1 cp1\n");
+  bench::rule();
+  printf("%s\n", fn.str().c_str());
+
+  const cdfg::Cdfg g = cdfg::Cdfg::from_function(fn);
+  std::vector<int> muls;
+  for (size_t i = 0; i < g.size(); ++i)
+    if (g.node(static_cast<int>(i)).kind == cdfg::NodeKind::Op &&
+        g.node(static_cast<int>(i)).op == ir::Op::Mul)
+      muls.push_back(static_cast<int>(i));
+  printf("CDFG: %zu multiply nodes", muls.size());
+  if (muls.size() == 2)
+    printf(" — mutually exclusive with the else-path values: %s\n\n",
+           g.mutually_exclusive(muls[0], muls[1]) ? "no (same guard)" : "-");
+  else
+    printf("\n\n");
+
+  const double before = c_path_cycles(fn, env, alloc);
+  printf("Cycles before transformation: %.2f (two multiplies serialize on\n"
+         "the single multiplier along the C path)\n\n",
+         before);
+
+  // The cross-basic-block rewrite chain.
+  const auto lib = xform::TransformLibrary::standard();
+  ir::Function cur = fn.clone();
+  const sim::Trace trace = sim::generate_trace(fn, {}, 17);
+  auto apply_all = [&](const char* name, int limit) {
+    const xform::Transform* t = lib.find_transform(name);
+    for (int i = 0; i < limit; ++i) {
+      const auto cands = t->find(cur, {});
+      if (cands.empty()) return;
+      cur = lib.apply(cur, cands[0]);
+      if (!sim::equivalent_on_trace(fn, cur, trace)) {
+        printf("EQUIVALENCE VIOLATION after %s\n", name);
+        return;
+      }
+      printf("  applied %s\n", cands[0].describe().c_str());
+    }
+  };
+  printf("Transformation chain (speculation carries the rewrite across the\n"
+         "basic-block boundary; fusion pairs the joins; distributivity\n"
+         "factors the common x1):\n");
+  apply_all("speculate", 1);
+  apply_all("fwdsub", 2);
+  apply_all("select-fuse", 1);
+  apply_all("distribute", 1);
+  apply_all("dce", 8);
+  printf("\nFigure 4(b): transformed behavior\n");
+  bench::rule();
+  printf("%s\n", cur.str().c_str());
+
+  const double after = c_path_cycles(cur, env, alloc);
+  printf("Cycles after transformation: %.2f   [paper: 3 cycles -> 2]\n",
+         after);
+  printf("Speedup: %.2fx\n", before / after);
+  return 0;
+}

@@ -1,0 +1,124 @@
+// Google-benchmark micro measurements of the framework's inner-loop costs:
+// the paper's algorithm reschedules and re-estimates power inside the
+// transformation search, so these latencies bound how many candidates the
+// search can afford.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+
+namespace {
+
+using namespace fact;
+
+const workloads::Workload& gcd() {
+  static const workloads::Workload w = workloads::make_gcd();
+  return w;
+}
+
+const workloads::Workload& sintran() {
+  static const workloads::Workload w = workloads::make_sintran();
+  return w;
+}
+
+void BM_ProfileFunction(benchmark::State& state) {
+  const auto& w = sintran();
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::profile_function(w.fn, trace));
+  }
+}
+BENCHMARK(BM_ProfileFunction);
+
+void BM_Schedule(benchmark::State& state) {
+  bench::Env env;
+  const auto& w = sintran();
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(env.lib, w.allocation, env.sel, env.sched_opts);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(scheduler.schedule(w.fn, profile));
+  }
+}
+BENCHMARK(BM_Schedule);
+
+void BM_MarkovSolve(benchmark::State& state) {
+  bench::Env env;
+  const auto& w = sintran();
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(env.lib, w.allocation, env.sel, env.sched_opts);
+  const sched::ScheduleResult sr = scheduler.schedule(w.fn, profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(stg::state_probabilities(sr.stg));
+  }
+}
+BENCHMARK(BM_MarkovSolve);
+
+void BM_PowerEstimate(benchmark::State& state) {
+  bench::Env env;
+  const auto& w = sintran();
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(env.lib, w.allocation, env.sel, env.sched_opts);
+  const sched::ScheduleResult sr = scheduler.schedule(w.fn, profile);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        power::estimate_power(sr.stg, env.lib, env.power_opts));
+  }
+}
+BENCHMARK(BM_PowerEstimate);
+
+void BM_FindCandidates(benchmark::State& state) {
+  const auto lib = xform::TransformLibrary::standard();
+  const auto& w = sintran();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.find_all(w.fn, {}));
+  }
+}
+BENCHMARK(BM_FindCandidates);
+
+void BM_ApplyTransform(benchmark::State& state) {
+  const auto lib = xform::TransformLibrary::standard();
+  const auto& w = sintran();
+  const auto cands = lib.find_all(w.fn, {});
+  size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(lib.apply(w.fn, cands[i++ % cands.size()]));
+  }
+}
+BENCHMARK(BM_ApplyTransform);
+
+void BM_FunctionClone(benchmark::State& state) {
+  const auto& w = sintran();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(w.fn.clone());
+  }
+}
+BENCHMARK(BM_FunctionClone);
+
+void BM_EquivalenceCheck(benchmark::State& state) {
+  const auto& w = gcd();
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const ir::Function copy = w.fn.clone();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sim::equivalent_on_trace(w.fn, copy, trace));
+  }
+}
+BENCHMARK(BM_EquivalenceCheck);
+
+void BM_FullFactGcd(benchmark::State& state) {
+  bench::Env env;
+  const auto& w = gcd();
+  const auto xf = xform::TransformLibrary::standard();
+  for (auto _ : state) {
+    opt::FactOptions fo;
+    benchmark::DoNotOptimize(
+        opt::run_fact(w.fn, env.lib, w.allocation, env.sel, w.trace, xf, fo));
+  }
+}
+BENCHMARK(BM_FullFactGcd)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

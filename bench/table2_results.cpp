@@ -1,0 +1,72 @@
+// Reproduces Table 2: throughput (T-opt: M1 / Flamel / FACT) and power
+// (P-opt: M1 vs FACT at iso-throughput) for the six benchmarks, plus the
+// Section 5 summary ratios (paper: FACT 2.7x over M1 and 2.1x over Flamel
+// in throughput; 62.1% average power saving over M1).
+
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+namespace {
+
+struct PaperRow {
+  const char* name;
+  double t_m1, t_fl, t_fact;  // cycles^-1 x 1000
+  double p_m1, p_fact;        // mW
+};
+
+// Table 2 of the paper, for side-by-side reference.
+constexpr PaperRow kPaper[] = {
+    {"GCD", 6.3, 10.1, 16.9, 2.8, 0.9},   {"FIR", 167, 167, 1000, 7.6, 1.7},
+    {"TEST2", 2.0, 2.0, 2.5, 11.3, 8.4},  {"SINTRAN", 1.3, 1.7, 2.5, 11.4, 4.0},
+    {"IGF", 0.2, 0.3, 0.3, 9.1, 7.0},     {"PPS", 125, 333, 333, 9.9, 3.6},
+};
+
+}  // namespace
+
+int main() {
+  using namespace fact;
+  bench::Env env;
+
+  printf("Table 2: throughput and power results (Clk = 25ns)\n");
+  printf("T = throughput (cycles^-1 x 1000), P = power (model units)\n");
+  printf("Paper values shown in [brackets]; shapes, not absolutes, are the\n");
+  printf("reproduction target (the substrate scheduler differs).\n");
+  bench::rule('=');
+  printf("%-8s | %28s | %21s\n", "", "T-opt (higher is better)",
+         "P-opt (lower is better)");
+  printf("%-8s | %8s %9s %9s | %10s %10s\n", "Circuit", "M1", "Flamel",
+         "FACT", "M1", "FACT");
+  bench::rule('=');
+
+  double t_ratio_m1 = 1.0, t_ratio_fl = 1.0, p_saving_total = 0.0;
+  int n = 0;
+  for (const auto& paper : kPaper) {
+    const workloads::Workload w = workloads::by_name(paper.name);
+    const bench::MethodRun m1 = bench::run_m1(env, w);
+    const bench::MethodRun fl = bench::run_flamel(env, w);
+    const bench::MethodRun ft =
+        bench::run_fact(env, w, opt::Objective::Throughput);
+    const bench::MethodRun fp = bench::run_fact(env, w, opt::Objective::Power);
+
+    printf("%-8s | %8.2f %9.2f %9.2f | %10.3f %10.3f\n", paper.name,
+           bench::throughput_k(m1.avg_len), bench::throughput_k(fl.avg_len),
+           bench::throughput_k(ft.avg_len), m1.power_nominal, fp.power_scaled);
+    printf("%-8s | [%6.1f] [%7.1f] [%7.1f] | [%8.1f] [%8.1f]\n", "",
+           paper.t_m1, paper.t_fl, paper.t_fact, paper.p_m1, paper.p_fact);
+
+    t_ratio_m1 *= m1.avg_len / ft.avg_len;
+    t_ratio_fl *= fl.avg_len / ft.avg_len;
+    p_saving_total += 1.0 - fp.power_scaled / m1.power_nominal;
+    n++;
+  }
+  bench::rule('=');
+  printf("Geomean FACT/M1 throughput gain     : %.2fx   [paper: 2.7x]\n",
+         std::pow(t_ratio_m1, 1.0 / n));
+  printf("Geomean FACT/Flamel throughput gain : %.2fx   [paper: 2.1x]\n",
+         std::pow(t_ratio_fl, 1.0 / n));
+  printf("Average power saving vs M1          : %.1f%%  [paper: 62.1%%]\n",
+         100.0 * p_saving_total / n);
+  return 0;
+}

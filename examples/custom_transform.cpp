@@ -1,0 +1,104 @@
+// The paper: "The framework we have developed can, however, easily be
+// customized by the addition of user-specified transformations."
+//
+// This example adds a *strength reduction* transform (x * 2^k -> x << k)
+// to the library and lets the schedule-guided search decide where it
+// helps: with one multiplier (23ns) but a free shifter (10ns), moving
+// multiplies-by-powers-of-two onto the shifter shortens the schedule.
+
+#include <cstdio>
+
+#include "hlslib/library.hpp"
+#include "lang/parser.hpp"
+#include "opt/fact.hpp"
+#include "xform/expr_transform.hpp"
+
+namespace {
+
+using namespace fact;
+
+/// x * 2^k  ->  x << k   (and the mirrored operand order).
+class StrengthReduction final : public xform::ExprTransform {
+ public:
+  std::string name() const override { return "strength"; }
+
+ protected:
+  static int log2_exact(int64_t v) {
+    if (v <= 0 || (v & (v - 1))) return -1;
+    int k = 0;
+    while (v > 1) {
+      v >>= 1;
+      ++k;
+    }
+    return k;
+  }
+
+  std::vector<int> variants_at(const ir::ExprPtr& e,
+                               std::optional<ir::Op>) const override {
+    if (e->op() != ir::Op::Mul) return {};
+    std::vector<int> v;
+    if (e->arg(1)->op() == ir::Op::Const &&
+        log2_exact(e->arg(1)->value()) >= 0)
+      v.push_back(0);
+    if (e->arg(0)->op() == ir::Op::Const &&
+        log2_exact(e->arg(0)->value()) >= 0)
+      v.push_back(1);
+    return v;
+  }
+
+  ir::ExprPtr rewrite(const ir::ExprPtr& e, int variant) const override {
+    const ir::ExprPtr value = variant == 0 ? e->arg(0) : e->arg(1);
+    const ir::ExprPtr power = variant == 0 ? e->arg(1) : e->arg(0);
+    return ir::Expr::binary(ir::Op::Shl, value,
+                            ir::Expr::constant(log2_exact(power->value())));
+  }
+};
+
+}  // namespace
+
+int main() {
+  // Two products with *different* multiplicands: factoring cannot merge
+  // them, so with a single multiplier the loop is stuck at II=2 until the
+  // user transform moves the power-of-two product onto the shifter.
+  const ir::Function behavior = lang::parse_function(R"(
+SCALE(int n) {
+  input int x[32];
+  input int z[32];
+  int y[32];
+  int i = 0;
+  while (i < 24) {
+    y[i] = x[i] * 8 + z[i] * 3;
+    i = i + 1;
+  }
+  output i;
+}
+)");
+
+  const hlslib::Library lib = hlslib::Library::dac98();
+  const hlslib::FuSelection sel = hlslib::FuSelection::defaults(lib);
+  hlslib::Allocation alloc;
+  alloc.counts = {{"a1", 1}, {"mt1", 1}, {"s1", 1}, {"i1", 1}};
+
+  // Library customization: the standard suite plus the user transform.
+  xform::TransformLibrary custom = xform::TransformLibrary::standard();
+  custom.add(std::make_unique<StrengthReduction>());
+
+  const opt::FactResult with_custom =
+      opt::run_fact(behavior, lib, alloc, sel, {}, custom, {});
+  const opt::FactResult without =
+      opt::run_fact(behavior, lib, alloc, sel, {},
+                    xform::TransformLibrary::standard(), {});
+
+  printf("without strength reduction: %.2f cycles\n", without.final_avg_len);
+  printf("with strength reduction   : %.2f cycles\n",
+         with_custom.final_avg_len);
+  printf("\ntransformed behavior:\n%s\n",
+         with_custom.optimized.str().c_str());
+  printf("transforms applied:\n");
+  for (const auto& t : with_custom.applied) printf("  %s\n", t.c_str());
+  printf(
+      "\nx[i]*8 (now a shift) and z[i]*3 (still a multiply) execute\n"
+      "concurrently on different units — the search applied the user\n"
+      "transform because rescheduling showed the II dropping.\n");
+  return 0;
+}

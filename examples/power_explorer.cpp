@@ -1,0 +1,55 @@
+// Domain example: low-power design-space exploration. Sweeps allocations
+// for the SINTRAN sine transform and, for each, runs FACT in power mode —
+// the paper's iso-throughput Vdd-scaling flow — reporting the
+// power/area trade-off curve a designer would use to pick a datapath.
+
+#include <cstdio>
+
+#include "hlslib/library.hpp"
+#include "opt/fact.hpp"
+#include "workloads/workloads.hpp"
+
+int main() {
+  using namespace fact;
+  const workloads::Workload w = workloads::make_sintran();
+  const hlslib::Library lib = hlslib::Library::dac98();
+  const hlslib::FuSelection sel = hlslib::FuSelection::defaults(lib);
+
+  struct Point {
+    const char* label;
+    hlslib::Allocation alloc;
+  };
+  std::vector<Point> sweep;
+  {
+    hlslib::Allocation lean;
+    lean.counts = {{"a1", 1}, {"sb1", 1}, {"mt1", 1}, {"cp1", 1}, {"i1", 1}};
+    sweep.push_back({"lean  (1 of each)", lean});
+    hlslib::Allocation mid;
+    mid.counts = {{"a1", 2}, {"sb1", 2}, {"mt1", 2}, {"cp1", 1}, {"i1", 1}};
+    sweep.push_back({"mid   (2 ALUs, 2 mult)", mid});
+    sweep.push_back({"paper (Table 3 row)", w.allocation});
+  }
+
+  printf("Power-mode exploration on SINTRAN (iso-throughput Vdd scaling)\n");
+  printf("%-24s %8s %10s %10s %8s %8s\n", "allocation", "area", "P(M1,5V)",
+         "P(FACT)", "Vdd", "saving");
+  for (const auto& point : sweep) {
+    double area = 0.0;
+    for (const auto& [fu, n] : point.alloc.counts)
+      area += n * lib.get(fu).area;
+
+    opt::FactOptions fo;
+    fo.objective = opt::Objective::Power;
+    const opt::FactResult r = opt::run_fact(
+        w.fn, lib, point.alloc, sel, w.trace,
+        xform::TransformLibrary::standard(), fo);
+    printf("%-24s %8.1f %10.3f %10.3f %7.2fV %7.1f%%\n", point.label, area,
+           r.initial_power.power, r.final_power.power, r.final_power.vdd,
+           100.0 * (1.0 - r.final_power.power / r.initial_power.power));
+  }
+  printf(
+      "\nReading the curve: richer datapaths give the transformed design\n"
+      "more slack, which Vdd scaling converts into power savings — the\n"
+      "paper's throughput-for-power trade (Example 2's closing remark).\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hlslib/library.hpp"
+#include "stg/stg.hpp"
+
+namespace fact::bind {
+
+/// A bound operation: which concrete FU instance executes which op in
+/// which state.
+struct BoundOp {
+  int state = -1;
+  int op_index = -1;       // index into State::ops
+  std::string fu_type;     // library type
+  int fu_instance = -1;    // instance number within the type (< allocation)
+};
+
+/// One storage register after sharing. `variables` lists the IR variables
+/// folded onto it (disjoint lifetimes).
+struct Register {
+  std::string name;
+  std::vector<std::string> variables;
+};
+
+/// Multiplexing cost summary for one FU instance: for each input port,
+/// how many distinct sources feed it across all states (a port with one
+/// source needs no mux; k sources need a k-to-1 mux).
+struct MuxStats {
+  std::string fu_type;
+  int fu_instance = -1;
+  std::vector<int> port_sources;  // distinct sources per port
+
+  int mux_inputs() const {
+    int total = 0;
+    for (int s : port_sources)
+      if (s > 1) total += s;
+    return total;
+  }
+};
+
+/// Datapath construction result: the paper's flow synthesizes the
+/// transformed CDFG down to a netlist; this module performs the
+/// binding steps (operation-to-FU instance, variable-to-register with
+/// left-edge sharing) and estimates the interconnect (mux) cost, which
+/// the power model's overhead term abstracts.
+struct Binding {
+  std::vector<BoundOp> ops;
+  std::vector<Register> registers;
+  std::vector<MuxStats> muxes;
+  std::map<std::string, int> fu_instances_used;  // type -> instances
+
+  /// Area: FU instances + registers + mux inputs, using library areas
+  /// (mux input cost is a small constant fraction of a register).
+  double area(const hlslib::Library& lib) const;
+
+  int total_mux_inputs() const;
+
+  std::string report(const hlslib::Library& lib) const;
+};
+
+/// Binds a scheduled STG to a datapath:
+///  * operations are assigned to FU instances per state, reusing the
+///    instance that already sees the same first operand where possible
+///    (mux-aware greedy binding);
+///  * variables are assigned to registers by the left-edge algorithm over
+///    their state lifetimes (approximated on the STG's state ordering);
+///  * mux statistics are derived from the final assignment.
+/// Throws fact::Error if a state uses more instances of a type than the
+/// allocation provides (a scheduler invariant violation).
+Binding bind_datapath(const stg::Stg& stg, const hlslib::Library& lib,
+                      const hlslib::Allocation& alloc);
+
+}  // namespace fact::bind

@@ -1,0 +1,115 @@
+#include "ir/edit.hpp"
+
+#include <set>
+
+#include "util/error.hpp"
+
+namespace fact::ir {
+
+namespace {
+
+bool replace_in_list(std::vector<StmtPtr>& list, int stmt_id,
+                     std::vector<StmtPtr>& replacement, bool insert_only) {
+  for (size_t i = 0; i < list.size(); ++i) {
+    if (list[i]->id == stmt_id) {
+      std::vector<StmtPtr> out;
+      out.reserve(list.size() + replacement.size());
+      for (size_t j = 0; j < i; ++j) out.push_back(std::move(list[j]));
+      for (auto& r : replacement) out.push_back(std::move(r));
+      if (insert_only) out.push_back(std::move(list[i]));
+      for (size_t j = i + 1; j < list.size(); ++j)
+        out.push_back(std::move(list[j]));
+      list = std::move(out);
+      return true;
+    }
+    for (auto* child : list[i]->child_lists())
+      if (replace_in_list(*child, stmt_id, replacement, insert_only))
+        return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool replace_stmt(Function& fn, int stmt_id,
+                  std::vector<StmtPtr> replacement) {
+  if (!fn.body()) return false;
+  return replace_in_list(fn.body()->stmts, stmt_id, replacement,
+                         /*insert_only=*/false);
+}
+
+bool insert_before(Function& fn, int stmt_id, std::vector<StmtPtr> stmts) {
+  if (!fn.body()) return false;
+  return replace_in_list(fn.body()->stmts, stmt_id, stmts,
+                         /*insert_only=*/true);
+}
+
+ExprPtr substitute(const ExprPtr& e,
+                   const std::map<std::string, ExprPtr>& subst) {
+  if (e->op() == Op::Var) {
+    auto it = subst.find(e->name());
+    return it == subst.end() ? e : it->second;
+  }
+  if (e->num_args() == 0) return e;
+  bool changed = false;
+  std::vector<ExprPtr> children;
+  children.reserve(e->num_args());
+  for (const auto& a : e->args()) {
+    ExprPtr sub = substitute(a, subst);
+    if (sub.get() != a.get()) changed = true;
+    children.push_back(std::move(sub));
+  }
+  return changed ? Expr::rebuild(*e, std::move(children)) : e;
+}
+
+std::map<std::string, ExprPtr> symbolic_assigns(
+    const std::vector<StmtPtr>& stmts) {
+  std::map<std::string, ExprPtr> env;
+  for (const auto& s : stmts) {
+    if (s->kind != StmtKind::Assign)
+      throw Error("symbolic_assigns: non-assign statement");
+    env[s->target] = substitute(s->value, env);
+  }
+  return env;
+}
+
+std::string fresh_name(const Function& fn, const std::string& tag) {
+  std::set<std::string> used(fn.params().begin(), fn.params().end());
+  fn.for_each([&](const Stmt& s) {
+    if (s.kind == StmtKind::Assign) used.insert(s.target);
+  });
+  for (int i = 0;; ++i) {
+    std::string name = "t_" + tag + std::to_string(i);
+    if (!used.count(name)) return name;
+  }
+}
+
+std::vector<std::string> written_vars(const std::vector<StmtPtr>& stmts) {
+  std::set<std::string> seen;
+  std::vector<std::string> out;
+  std::function<void(const std::vector<StmtPtr>&)> walk =
+      [&](const std::vector<StmtPtr>& list) {
+        for (const auto& s : list) {
+          if (s->kind == StmtKind::Assign && seen.insert(s->target).second)
+            out.push_back(s->target);
+          for (const auto* child : s->child_lists()) walk(*child);
+        }
+      };
+  walk(stmts);
+  return out;
+}
+
+bool all_scalar_assigns(const std::vector<StmtPtr>& stmts) {
+  for (const auto& s : stmts)
+    if (s->kind != StmtKind::Assign) return false;
+  return true;
+}
+
+void clear_ids(std::vector<StmtPtr>& stmts) {
+  for (auto& s : stmts) {
+    s->id = -1;
+    for (auto* child : s->child_lists()) clear_ids(*child);
+  }
+}
+
+}  // namespace fact::ir

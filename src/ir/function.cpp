@@ -1,0 +1,155 @@
+#include "ir/function.hpp"
+
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include "util/error.hpp"
+
+namespace fact::ir {
+
+const ArrayDecl* Function::find_array(const std::string& name) const {
+  for (const auto& a : arrays_)
+    if (a.name == name) return &a;
+  return nullptr;
+}
+
+void Function::set_body(StmtPtr b) {
+  body_ = std::move(b);
+  renumber();
+}
+
+void Function::renumber() {
+  int next = 0;
+  for_each([&](Stmt& s) { s.id = next++; });
+}
+
+void Function::assign_fresh_ids() {
+  int next = max_stmt_id() + 1;
+  for_each([&](Stmt& s) {
+    if (s.id < 0) s.id = next++;
+  });
+}
+
+int Function::max_stmt_id() const {
+  int max_id = -1;
+  for_each([&](const Stmt& s) { max_id = std::max(max_id, s.id); });
+  return max_id;
+}
+
+std::set<int> Function::stmt_ids() const {
+  std::set<int> ids;
+  for_each([&](const Stmt& s) { ids.insert(s.id); });
+  return ids;
+}
+
+const Stmt* Function::find_stmt(int id) const {
+  const Stmt* found = nullptr;
+  for_each([&](const Stmt& s) {
+    if (s.id == id) found = &s;
+  });
+  return found;
+}
+
+Stmt* Function::find_stmt(int id) {
+  Stmt* found = nullptr;
+  for_each([&](Stmt& s) {
+    if (s.id == id) found = &s;
+  });
+  return found;
+}
+
+Function Function::clone() const {
+  Function f(name_);
+  f.params_ = params_;
+  f.arrays_ = arrays_;
+  f.outputs_ = outputs_;
+  if (body_) f.body_ = body_->clone();
+  return f;
+}
+
+std::string Function::str() const {
+  std::ostringstream out;
+  out << name_ << "(";
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (i) out << ", ";
+    out << "int " << params_[i];
+  }
+  out << ") {\n";
+  for (const auto& a : arrays_)
+    out << "  " << (a.is_input ? "input " : "") << "int " << a.name << "["
+        << a.size << "];\n";
+  if (body_)
+    for (const auto& s : body_->stmts) out << s->str(1);
+  for (const auto& o : outputs_) out << "  output " << o << ";\n";
+  out << "}\n";
+  return out.str();
+}
+
+void Function::for_each(const std::function<void(const Stmt&)>& fn) const {
+  for_each_stmt(const_cast<Function*>(this)->body_,
+                [&](Stmt& s) { fn(s); });
+}
+
+void Function::for_each(const std::function<void(Stmt&)>& fn) {
+  for_each_stmt(body_, fn);
+}
+
+size_t Function::stmt_count() const {
+  size_t n = 0;
+  for_each([&](const Stmt&) { ++n; });
+  return n;
+}
+
+void Function::validate() const {
+  std::set<std::string> array_names;
+  for (const auto& a : arrays_) {
+    if (a.size == 0) throw Error("array '" + a.name + "' has size 0");
+    if (!array_names.insert(a.name).second)
+      throw Error("duplicate array '" + a.name + "'");
+  }
+  std::set<std::string> scalar_names(params_.begin(), params_.end());
+  if (scalar_names.size() != params_.size())
+    throw Error("duplicate parameter name");
+
+  auto check_expr = [&](const ExprPtr& e) {
+    for_each_node(e, [&](const ExprPtr& n) {
+      if (n->op() == Op::ArrayRead && !array_names.count(n->name()))
+        throw Error("read of undeclared array '" + n->name() + "'");
+      if (n->op() == Op::Var && array_names.count(n->name()))
+        throw Error("array '" + n->name() + "' used as a scalar");
+    });
+  };
+
+  for_each([&](const Stmt& s) {
+    switch (s.kind) {
+      case StmtKind::Assign:
+        if (array_names.count(s.target))
+          throw Error("assignment to array name '" + s.target + "'");
+        check_expr(s.value);
+        break;
+      case StmtKind::Store:
+        if (!array_names.count(s.target))
+          throw Error("store to undeclared array '" + s.target + "'");
+        check_expr(s.index);
+        check_expr(s.value);
+        break;
+      case StmtKind::If:
+        check_expr(s.cond);
+        break;
+      case StmtKind::While:
+        check_expr(s.cond);
+        if (s.then_stmts.empty())
+          throw Error("empty while body in '" + name_ + "'");
+        break;
+      case StmtKind::Block:
+        break;
+    }
+  });
+
+  for (const auto& o : outputs_)
+    if (array_names.count(o))
+      throw Error("output '" + o + "' must be a scalar");
+}
+
+}  // namespace fact::ir

@@ -1,0 +1,94 @@
+#pragma once
+
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace fact::ir {
+
+/// Array declaration. Arrays model the memories of the synthesized design;
+/// the paper maps each array to its own memory so that concurrent accesses
+/// to distinct arrays never conflict.
+struct ArrayDecl {
+  std::string name;
+  size_t size = 0;
+  bool is_input = false;  // initialized from the input trace
+};
+
+/// A behavioral description: one top-level function whose body is executed
+/// repeatedly (one execution per arrival of new inputs), exactly like the
+/// paper's "one execution of the behavior".
+class Function {
+ public:
+  Function() = default;
+  explicit Function(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string n) { name_ = std::move(n); }
+
+  const std::vector<std::string>& params() const { return params_; }
+  void add_param(const std::string& p) { params_.push_back(p); }
+
+  const std::vector<ArrayDecl>& arrays() const { return arrays_; }
+  void add_array(const ArrayDecl& a) { arrays_.push_back(a); }
+  const ArrayDecl* find_array(const std::string& name) const;
+
+  const std::vector<std::string>& outputs() const { return outputs_; }
+  void add_output(const std::string& o) { outputs_.push_back(o); }
+
+  /// The body is always a Block statement.
+  const Stmt* body() const { return body_.get(); }
+  Stmt* body() { return body_.get(); }
+  void set_body(StmtPtr b);
+
+  /// Assigns fresh preorder statement ids (0, 1, 2, ...). Called after any
+  /// structural edit that adds statements.
+  void renumber();
+
+  /// Assigns ids only to statements that have none (id == -1), continuing
+  /// past the current maximum. Transformations use this so that existing
+  /// statement ids — and therefore optimizer regions and profile keys —
+  /// stay stable across rewrites.
+  void assign_fresh_ids();
+
+  /// Largest statement id in use, or -1.
+  int max_stmt_id() const;
+
+  /// The set of all statement ids (used by the optimizer to detect
+  /// transform-created statements).
+  std::set<int> stmt_ids() const;
+
+  /// Finds the statement with the given id, or nullptr.
+  const Stmt* find_stmt(int id) const;
+  Stmt* find_stmt(int id);
+
+  /// Deep copy. Statement ids are preserved, so transformation candidates
+  /// expressed as (stmt id, expr path) remain valid on the clone.
+  Function clone() const;
+
+  /// Source-like rendering of the whole function.
+  std::string str() const;
+
+  /// Preorder walk over every statement in the body.
+  void for_each(const std::function<void(const Stmt&)>& fn) const;
+  void for_each(const std::function<void(Stmt&)>& fn);
+
+  /// Total number of statements.
+  size_t stmt_count() const;
+
+  /// Throws fact::Error if the function is malformed: use of an undeclared
+  /// array, store to an input-only name, empty loop body, etc.
+  void validate() const;
+
+ private:
+  std::string name_;
+  std::vector<std::string> params_;
+  std::vector<ArrayDecl> arrays_;
+  std::vector<std::string> outputs_;
+  StmtPtr body_;
+};
+
+}  // namespace fact::ir

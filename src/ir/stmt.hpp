@@ -1,0 +1,74 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ir/expr.hpp"
+
+namespace fact::ir {
+
+enum class StmtKind {
+  Assign,  // var = expr
+  Store,   // array[index] = value
+  If,      // if (cond) then_block else else_block
+  While,   // while (cond) body
+  Block,   // { stmts... }
+};
+
+struct Stmt;
+using StmtPtr = std::unique_ptr<Stmt>;
+
+/// One statement of the behavior IR. A single struct (rather than a class
+/// hierarchy) keeps the many transformations that pattern-match and rewrite
+/// statements compact; unused fields are empty for a given kind.
+struct Stmt {
+  StmtKind kind;
+  /// Unique id within the enclosing Function after Function::renumber().
+  /// Ids are stable across Function::clone(), which is what lets the
+  /// optimizer map STG states back to IR statements.
+  int id = -1;
+
+  // Assign / Store
+  std::string target;  // variable (Assign) or array (Store) name
+  ExprPtr index;       // Store only
+  ExprPtr value;       // Assign / Store rhs
+
+  // If / While
+  ExprPtr cond;
+  std::vector<StmtPtr> then_stmts;  // If: then branch; While: body
+  std::vector<StmtPtr> else_stmts;  // If only
+
+  // Block
+  std::vector<StmtPtr> stmts;
+
+  // ---- factories ------------------------------------------------------
+  static StmtPtr assign(std::string var, ExprPtr value);
+  static StmtPtr store(std::string array, ExprPtr index, ExprPtr value);
+  static StmtPtr if_stmt(ExprPtr cond, std::vector<StmtPtr> then_stmts,
+                         std::vector<StmtPtr> else_stmts = {});
+  static StmtPtr while_stmt(ExprPtr cond, std::vector<StmtPtr> body);
+  static StmtPtr block(std::vector<StmtPtr> stmts);
+
+  StmtPtr clone() const;
+
+  /// All expression "slots" of this statement (cond / index / value),
+  /// in a fixed order. Slot indices are part of transformation candidate
+  /// coordinates.
+  std::vector<const ExprPtr*> expr_slots() const;
+  std::vector<ExprPtr*> expr_slots();
+
+  /// Child statement lists (then/else/body/stmts) in a fixed order.
+  std::vector<const std::vector<StmtPtr>*> child_lists() const;
+  std::vector<std::vector<StmtPtr>*> child_lists();
+
+  /// Pretty-prints with the given indent depth.
+  std::string str(int indent = 0) const;
+};
+
+/// Preorder walk over a statement subtree.
+void for_each_stmt(const StmtPtr& s, const std::function<void(const Stmt&)>& fn);
+void for_each_stmt(StmtPtr& s, const std::function<void(Stmt&)>& fn);
+
+}  // namespace fact::ir

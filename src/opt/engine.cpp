@@ -1,0 +1,228 @@
+#include "opt/engine.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace fact::opt {
+
+namespace {
+
+/// One member of the search population: a transformed variant plus the
+/// bookkeeping needed to keep exploring from it.
+struct Member {
+  ir::Function fn;
+  std::set<int> region;              // region ids incl. transform-created
+  std::vector<std::string> applied;  // how we got here
+  Evaluation eval;
+};
+
+}  // namespace
+
+TransformEngine::TransformEngine(const hlslib::Library& lib,
+                                 const hlslib::Allocation& alloc,
+                                 const hlslib::FuSelection& sel,
+                                 const sched::SchedOptions& sched_opts,
+                                 const power::PowerOptions& power_opts,
+                                 const xform::TransformLibrary& xforms,
+                                 EngineOptions opts)
+    : lib_(lib),
+      alloc_(alloc),
+      sel_(sel),
+      sched_opts_(sched_opts),
+      power_opts_(power_opts),
+      xforms_(xforms),
+      opts_(opts) {}
+
+Evaluation TransformEngine::evaluate(const ir::Function& fn,
+                                     const sim::Trace& trace,
+                                     Objective objective,
+                                     double baseline_len) const {
+  // Re-profile the candidate: transformed control structure means new
+  // branch sites. The interpreter is cheap relative to scheduling.
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  sched::Scheduler scheduler(lib_, alloc_, sel_, sched_opts_);
+  const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
+
+  Evaluation ev;
+  ev.avg_len = stg::average_schedule_length(sr.stg);
+  if (objective == Objective::Power) {
+    const power::PowerEstimate est = power::estimate_power_scaled(
+        sr.stg, lib_, baseline_len, power_opts_);
+    ev.power = est.power;
+    ev.vdd = est.vdd;
+    // Iso-throughput constraint (Section 2.2): the transformed design must
+    // not be slower than the base case; slower candidates would fake a
+    // power win simply by stretching the denominator.
+    ev.score = ev.avg_len <= baseline_len * 1.001 ? est.power : 1e30;
+  } else {
+    const power::PowerEstimate est =
+        power::estimate_power(sr.stg, lib_, power_opts_);
+    ev.power = est.power;
+    ev.vdd = est.vdd;
+    ev.score = ev.avg_len;
+  }
+  return ev;
+}
+
+EngineResult TransformEngine::optimize(const ir::Function& fn,
+                                       const sim::Trace& trace,
+                                       Objective objective,
+                                       const std::set<int>& region,
+                                       double baseline_len) const {
+  Rng rng(opts_.seed);
+
+  EngineResult result{fn.clone(), {}, {}, {}, 0, 0};
+
+  auto evaluate_member = [&](Member& m) {
+    result.evaluations++;
+    try {
+      m.eval = evaluate(m.fn, trace, objective, baseline_len);
+    } catch (const Error&) {
+      // A transform can push a behavior outside the allocation's reach
+      // (e.g. folding a counter comparison into a datapath one); such
+      // candidates simply lose.
+      m.eval = Evaluation{};
+      m.eval.score = 1e30;
+    }
+  };
+
+  Member root{fn.clone(), region, {}, {}};
+  evaluate_member(root);
+  result.best_eval = root.eval;
+
+  // Structural dedup across the whole run.
+  std::unordered_set<size_t> seen;
+  const std::hash<std::string> hasher;
+  seen.insert(hasher(root.fn.str()));
+
+  std::vector<Member> in_set;
+  in_set.push_back(std::move(root));
+
+  double best_score = result.best_eval.score;
+  for (int outer = 0; outer < opts_.max_outer_iters; ++outer) {
+    const double k = opts_.k0 + opts_.k_step * outer;
+    const double score_before = best_score;
+
+    for (int move = 0; move < opts_.max_moves; ++move) {
+      std::vector<Member> behavior_set;
+
+      // Neighborhood generation: every candidate transformation of every
+      // population member (statement 6 of Figure 6).
+      for (const Member& g : in_set) {
+        std::vector<xform::Candidate> cands =
+            xforms_.find_all(g.fn, g.region);
+        // Deterministic shuffle so the evaluation budget samples the
+        // neighborhood uniformly instead of front-loading one transform.
+        for (size_t i = cands.size(); i > 1; --i)
+          std::swap(cands[i - 1],
+                    cands[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(i) - 1))]);
+
+        for (const auto& c : cands) {
+          if (behavior_set.size() >= opts_.max_neighbors_eval) break;
+          ir::Function transformed = [&]() -> ir::Function {
+            return xforms_.apply(g.fn, c);
+          }();
+          const size_t h = hasher(transformed.str());
+          if (!seen.insert(h).second) continue;
+
+          if (opts_.verify_equivalence &&
+              !sim::equivalent_on_trace(fn, transformed, trace)) {
+            result.rejected_nonequivalent++;
+            continue;
+          }
+
+          Member m;
+          // Region: keep the parent's ids plus any transform-created ones.
+          m.region = g.region;
+          if (!m.region.empty()) {
+            const std::set<int> parent_ids = g.fn.stmt_ids();
+            for (int id : transformed.stmt_ids())
+              if (!parent_ids.count(id)) m.region.insert(id);
+          }
+          m.fn = std::move(transformed);
+          m.applied = g.applied;
+          m.applied.push_back(c.describe());
+          behavior_set.push_back(std::move(m));
+        }
+      }
+      if (behavior_set.empty()) break;
+
+      // Assess efficacy: reschedule + estimate (statements 8-10).
+      for (Member& m : behavior_set) {
+        if (opts_.reschedule_in_loop) {
+          evaluate_member(m);
+        } else {
+          // Ablation: schedule-blind search scores by static op count.
+          size_t ops = 0;
+          m.fn.for_each([&](const ir::Stmt& s) {
+            for (const auto* slot : s.expr_slots())
+              ops += (*slot)->tree_size();
+          });
+          m.eval.score = static_cast<double>(ops);
+        }
+        if (m.eval.score < best_score) {
+          best_score = m.eval.score;
+          result.best = m.fn.clone();
+          result.best_eval = m.eval;
+          result.applied = m.applied;
+        }
+      }
+
+      // Rank decreasing gain = increasing score; select a fixed-size
+      // subset with P(rank) ~ e^(-k * rank).
+      std::sort(behavior_set.begin(), behavior_set.end(),
+                [](const Member& a, const Member& b) {
+                  return a.eval.score < b.eval.score;
+                });
+      const size_t want = std::min(opts_.in_set_size, behavior_set.size());
+      std::vector<size_t> chosen;
+      std::vector<bool> taken(behavior_set.size(), false);
+      while (chosen.size() < want) {
+        double total = 0.0;
+        for (size_t r = 0; r < behavior_set.size(); ++r)
+          if (!taken[r]) total += std::exp(-k * static_cast<double>(r));
+        double x = rng.uniform() * total;
+        size_t pick = behavior_set.size();
+        for (size_t r = 0; r < behavior_set.size(); ++r) {
+          if (taken[r]) continue;
+          x -= std::exp(-k * static_cast<double>(r));
+          if (x <= 0.0) {
+            pick = r;
+            break;
+          }
+        }
+        if (pick == behavior_set.size()) {  // numerical tail: take best free
+          for (size_t r = 0; r < behavior_set.size(); ++r)
+            if (!taken[r]) {
+              pick = r;
+              break;
+            }
+        }
+        taken[pick] = true;
+        chosen.push_back(pick);
+      }
+      std::vector<Member> next;
+      next.reserve(chosen.size());
+      for (size_t r : chosen) next.push_back(std::move(behavior_set[r]));
+      in_set = std::move(next);
+    }
+
+    result.score_trace.push_back(best_score);
+    // Termination: a full generation without improvement (Section 4.2).
+    if (best_score >= score_before - 1e-9 && outer > 0) break;
+    if (in_set.empty()) break;
+  }
+
+  // If the schedule-blind ablation was used, the recorded eval lacks real
+  // metrics; evaluate the winner properly once.
+  if (!opts_.reschedule_in_loop)
+    result.best_eval = evaluate(result.best, trace, objective, baseline_len);
+
+  return result;
+}
+
+}  // namespace fact::opt

@@ -1,0 +1,85 @@
+#pragma once
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "power/power.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/rng.hpp"
+#include "xform/transform.hpp"
+
+namespace fact::opt {
+
+enum class Objective { Throughput, Power };
+
+/// Parameters of the Apply_transforms search (Figure 6). The search keeps
+/// a population In_set, explores every candidate transformation of every
+/// member, evaluates candidates by rescheduling and estimating the
+/// objective, and selects the next population with probability
+/// proportional to e^(-k * rank), k growing linearly per outer iteration.
+struct EngineOptions {
+  int max_moves = 2;                 // MAX_MOVES (inner loop of Fig. 6)
+  size_t in_set_size = 4;            // |In_set| after selection
+  int max_outer_iters = 8;           // stop after this many generations
+  size_t max_neighbors_eval = 96;    // evaluation budget per move
+  double k0 = 0.4;                   // initial selection sharpness
+  double k_step = 0.4;               // k increment per outer iteration
+  uint64_t seed = 1;
+  bool reschedule_in_loop = true;    // ablation: schedule-guided selection
+  bool verify_equivalence = true;    // simulate candidates vs. the original
+};
+
+struct Evaluation {
+  double avg_len = 0.0;  // average schedule length, cycles
+  double power = 0.0;    // estimated power (scaled Vdd in Power mode)
+  double vdd = 5.0;
+  double score = 0.0;    // objective value; lower is better
+};
+
+struct EngineResult {
+  ir::Function best;
+  Evaluation best_eval;
+  std::vector<std::string> applied;      // winning transform sequence
+  std::vector<double> score_trace;       // best score after each generation
+  int evaluations = 0;                   // schedule+estimate invocations
+  int rejected_nonequivalent = 0;        // candidates failing verification
+};
+
+/// The transformation-application engine of Section 4.2: population search
+/// over CDFG variants with interleaved scheduling (steps 3-7 of Figure 5).
+class TransformEngine {
+ public:
+  TransformEngine(const hlslib::Library& lib, const hlslib::Allocation& alloc,
+                  const hlslib::FuSelection& sel,
+                  const sched::SchedOptions& sched_opts,
+                  const power::PowerOptions& power_opts,
+                  const xform::TransformLibrary& xforms, EngineOptions opts);
+
+  /// Optimizes `fn` for `objective`, applying transforms only within
+  /// `region` (statement ids; empty = whole function). `baseline_len` is
+  /// the untransformed design's average schedule length, the reference for
+  /// iso-throughput Vdd scaling in Power mode.
+  EngineResult optimize(const ir::Function& fn, const sim::Trace& trace,
+                        Objective objective, const std::set<int>& region,
+                        double baseline_len) const;
+
+  /// Schedules and evaluates one function (used standalone by benches).
+  Evaluation evaluate(const ir::Function& fn, const sim::Trace& trace,
+                      Objective objective, double baseline_len) const;
+
+ private:
+  // Hardware context is stored by value (callers pass temporaries); the
+  // transform library is a reference — it is not copyable and must outlive
+  // the engine.
+  hlslib::Library lib_;
+  hlslib::Allocation alloc_;
+  hlslib::FuSelection sel_;
+  sched::SchedOptions sched_opts_;
+  power::PowerOptions power_opts_;
+  const xform::TransformLibrary& xforms_;
+  EngineOptions opts_;
+};
+
+}  // namespace fact::opt

@@ -1,0 +1,74 @@
+#include "opt/fact.hpp"
+
+#include "util/strfmt.hpp"
+
+namespace fact::opt {
+
+FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
+                    const hlslib::Allocation& alloc,
+                    const hlslib::FuSelection& sel,
+                    const sim::TraceConfig& trace_config,
+                    const xform::TransformLibrary& xforms,
+                    const FactOptions& opts) {
+  FactResult result;
+
+  // Step 0: typical input traces, generated once and reused everywhere.
+  sim::TraceConfig tc = trace_config;
+  if (tc.executions == 0) tc.executions = opts.trace_executions;
+  const sim::Trace trace = sim::generate_trace(fn, tc, opts.seed);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+
+  // Step 1: schedule the input behavior — the "base case" every
+  // comparison (and the Vdd-scaling equation) refers to.
+  sched::Scheduler scheduler(lib, alloc, sel, opts.sched);
+  sched::ScheduleResult initial = scheduler.schedule(fn, profile);
+  result.initial_avg_len = stg::average_schedule_length(initial.stg);
+  result.initial_power = power::estimate_power(initial.stg, lib, opts.power);
+  result.log.push_back(strfmt("initial schedule: %zu states, avg length %.2f",
+                              initial.stg.num_states(),
+                              result.initial_avg_len));
+
+  // Step 2: partition the STG into hot blocks.
+  std::vector<StgBlock> blocks =
+      partition_stg(initial.stg, opts.partition_threshold);
+  if (blocks.size() > opts.max_blocks) blocks.resize(opts.max_blocks);
+  result.log.push_back(strfmt("partitioned into %zu block(s)", blocks.size()));
+
+  // Steps 3-7 per block: transform with interleaved scheduling.
+  TransformEngine engine(lib, alloc, sel, opts.sched, opts.power, xforms,
+                         opts.engine);
+  ir::Function current = fn.clone();
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    EngineResult er = engine.optimize(current, trace, opts.objective,
+                                      blocks[b].stmt_ids,
+                                      result.initial_avg_len);
+    result.evaluations += er.evaluations;
+    result.log.push_back(
+        strfmt("block %zu (weight %.3f, %zu stmts): %zu transform(s), "
+               "score %.4f after %d evaluations",
+               b, blocks[b].weight, blocks[b].stmt_ids.size(),
+               er.applied.size(), er.best_eval.score, er.evaluations));
+    for (const auto& a : er.applied)
+      result.applied.push_back(strfmt("block%zu: %s", b, a.c_str()));
+    current = std::move(er.best);
+  }
+
+  // Final schedule + metrics of the winner.
+  const sim::Profile final_profile = sim::profile_function(current, trace);
+  result.schedule = scheduler.schedule(current, final_profile);
+  result.final_avg_len = stg::average_schedule_length(result.schedule.stg);
+  if (opts.objective == Objective::Power) {
+    result.final_power = power::estimate_power_scaled(
+        result.schedule.stg, lib, result.initial_avg_len, opts.power);
+  } else {
+    result.final_power =
+        power::estimate_power(result.schedule.stg, lib, opts.power);
+  }
+  result.log.push_back(strfmt("final: avg length %.2f, power %.4f (Vdd %.2fV)",
+                              result.final_avg_len, result.final_power.power,
+                              result.final_power.vdd));
+  result.optimized = std::move(current);
+  return result;
+}
+
+}  // namespace fact::opt

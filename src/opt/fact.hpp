@@ -1,0 +1,50 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "opt/engine.hpp"
+#include "opt/partition.hpp"
+
+namespace fact::opt {
+
+/// End-to-end configuration of the FACT flow (Figure 5).
+struct FactOptions {
+  sched::SchedOptions sched;
+  power::PowerOptions power;
+  EngineOptions engine;
+  Objective objective = Objective::Throughput;
+  double partition_threshold = 0.25;  // hot-edge cutoff (Section 4.1)
+  size_t max_blocks = 3;              // optimize at most this many blocks
+  uint64_t seed = 7;                  // trace-generation seed
+  size_t trace_executions = 24;
+};
+
+/// Everything FACT produces: the transformed behavior, its schedule, and
+/// before/after metrics.
+struct FactResult {
+  ir::Function optimized;
+  sched::ScheduleResult schedule;     // final schedule of `optimized`
+  double initial_avg_len = 0.0;       // M1 schedule length of the input
+  double final_avg_len = 0.0;
+  power::PowerEstimate initial_power; // at nominal Vdd
+  power::PowerEstimate final_power;   // Vdd-scaled in Power mode
+  std::vector<std::string> applied;   // transform sequence
+  std::vector<std::string> log;       // human-readable flow narration
+  int evaluations = 0;
+};
+
+/// Runs the full FACT flow on a behavior:
+///  1. schedule the input (M1 baseline / "base case"),
+///  2. profile with generated typical traces,
+///  3. partition the STG into hot blocks,
+///  4. per block, run the Apply_transforms search (throughput or power),
+///  5. reschedule and report.
+FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
+                    const hlslib::Allocation& alloc,
+                    const hlslib::FuSelection& sel,
+                    const sim::TraceConfig& trace_config,
+                    const xform::TransformLibrary& xforms,
+                    const FactOptions& opts);
+
+}  // namespace fact::opt

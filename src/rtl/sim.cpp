@@ -1,0 +1,133 @@
+#include "rtl/sim.hpp"
+
+#include <map>
+
+#include "util/error.hpp"
+
+namespace fact::rtl {
+
+namespace {
+
+bool is_number(const std::string& t) {
+  if (t.empty()) return false;
+  size_t i = t[0] == '-' ? 1 : 0;
+  if (i >= t.size()) return false;
+  for (; i < t.size(); ++i)
+    if (t[i] < '0' || t[i] > '9') return false;
+  return true;
+}
+
+int64_t wrap_index(int64_t idx, size_t size) {
+  const int64_t n = static_cast<int64_t>(size);
+  int64_t m = idx % n;
+  if (m < 0) m += n;
+  return m;
+}
+
+}  // namespace
+
+RtlSimResult simulate_rtl(const ir::Function& fn, const RtlPlan& plan,
+                          const sim::Stimulus& stimulus, long max_cycles) {
+  std::map<std::string, int64_t> regs;  // vars, shadows, wires
+  std::map<std::string, std::vector<int64_t>> mems;
+
+  auto read = [&](const std::string& tok) -> int64_t {
+    if (is_number(tok)) return std::stoll(tok);
+    auto it = regs.find(tok);
+    return it == regs.end() ? 0 : it->second;
+  };
+
+  // Reset: latch parameters, preload input memories.
+  for (const auto& p : fn.params()) {
+    auto it = stimulus.params.find(p);
+    regs[p] = it == stimulus.params.end() ? 0 : it->second;
+  }
+  for (const auto& a : fn.arrays()) {
+    auto& mem = mems[a.name];
+    mem.assign(a.size, 0);
+    if (a.is_input) {
+      auto it = stimulus.arrays.find(a.name);
+      if (it != stimulus.arrays.end()) {
+        const size_t n = std::min(a.size, it->second.size());
+        for (size_t i = 0; i < n; ++i) mem[i] = it->second[i];
+      }
+    }
+  }
+
+  RtlSimResult result;
+  int state = plan.entry;
+  for (long cycle = 0; cycle < max_cycles; ++cycle) {
+    const RtlState& st = plan.states[static_cast<size_t>(state)];
+    result.cycles = cycle + 1;
+
+    for (const RtlStep& step : st.steps) {
+      for (const auto& v : step.captures) regs[v + "__pre"] = regs[v];
+      std::vector<int64_t> src;
+      src.reserve(step.srcs.size());
+      for (const auto& tok : step.srcs) src.push_back(read(tok));
+
+      if (step.op.is_store) {
+        auto& mem = mems.at(step.op.array);
+        mem[static_cast<size_t>(wrap_index(src[0], mem.size()))] = src[1];
+        continue;
+      }
+
+      int64_t value = 0;
+      switch (step.op.op) {
+        case ir::Op::Add: value = src[0] + src[1]; break;
+        case ir::Op::Sub: value = src[0] - src[1]; break;
+        case ir::Op::Mul: value = src[0] * src[1]; break;
+        case ir::Op::Shl:
+          value = static_cast<int64_t>(static_cast<uint64_t>(src[0])
+                                       << (src[1] & 63));
+          break;
+        case ir::Op::Shr: value = src[0] >> (src[1] & 63); break;
+        case ir::Op::Lt: value = src[0] < src[1]; break;
+        case ir::Op::Le: value = src[0] <= src[1]; break;
+        case ir::Op::Gt: value = src[0] > src[1]; break;
+        case ir::Op::Ge: value = src[0] >= src[1]; break;
+        case ir::Op::Eq: value = src[0] == src[1]; break;
+        case ir::Op::Ne: value = src[0] != src[1]; break;
+        case ir::Op::BitNot: value = ~src[0]; break;
+        case ir::Op::Not: value = src[0] == 0; break;
+        case ir::Op::And: value = src[0] != 0 && src[1] != 0; break;
+        case ir::Op::Or: value = src[0] != 0 || src[1] != 0; break;
+        case ir::Op::Select: value = src[0] != 0 ? src[1] : src[2]; break;
+        case ir::Op::Var: value = src.empty() ? 0 : src[0]; break;
+        case ir::Op::ArrayRead: {
+          const auto& mem = mems.at(step.op.array);
+          value = mem[static_cast<size_t>(wrap_index(src[0], mem.size()))];
+          break;
+        }
+        default:
+          throw Error("rtl sim: unsupported op");
+      }
+      regs[step.op.value_name] = value;
+      if (!step.op.def_var.empty()) regs[step.op.def_var] = value;
+    }
+
+    // Transitions: first match fires.
+    bool moved = false;
+    for (const RtlTransition& t : st.transitions) {
+      bool fire = t.signal.empty();
+      if (!fire) {
+        const bool truth = read(t.signal) != 0;
+        fire = truth == t.on_true;
+      }
+      if (!fire) continue;
+      moved = true;
+      if (t.boundary) {
+        result.completed = true;
+        for (const auto& o : fn.outputs()) result.obs.outputs[o] = read(o);
+        result.obs.arrays = std::move(mems);
+        return result;
+      }
+      state = t.target;
+      break;
+    }
+    if (!moved) throw Error("rtl sim: no transition fired");
+  }
+  return result;  // completed == false: cycle cap hit
+}
+
+}  // namespace fact::rtl

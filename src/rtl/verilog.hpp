@@ -1,0 +1,35 @@
+#pragma once
+
+#include <string>
+
+#include "bind/binding.hpp"
+#include "ir/function.hpp"
+#include "stg/stg.hpp"
+
+namespace fact::rtl {
+
+struct RtlOptions {
+  int width = 32;            // datapath width
+  std::string module_name;   // defaults to the function name
+};
+
+/// Emits a synthesizable-style behavioral Verilog module from a scheduled
+/// STG: one FSM state per STG state, the state's operations as blocking
+/// assignments (chained combinationally within the cycle, mirroring the
+/// scheduler's operator chaining), IR variables as registers, arrays as
+/// internal memories, and conditional transitions driven by the wires the
+/// scheduler recorded as each state's condition signals.
+///
+/// Scope notes (documented limitations of the preview backend):
+///  * Pipelined kernels are emitted in dataflow order, i.e. the module is
+///    functionally equivalent to the *non-overlapped* execution; iteration
+///    overlap affects timing only. Cross-state anti-dependences that the
+///    scheduler relaxed via modulo variable expansion are restored with
+///    explicit shadow registers (`<var>__pre`).
+///  * Input arrays are internal memories expected to be preloaded by the
+///    testbench (hierarchical reference or readmemh).
+///  * The `done` output pulses on execution-boundary transitions.
+std::string emit_verilog(const ir::Function& fn, const stg::Stg& stg,
+                         const RtlOptions& opts = {});
+
+}  // namespace fact::rtl

@@ -1,0 +1,92 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hlslib/library.hpp"
+#include "ir/function.hpp"
+#include "sched/region.hpp"
+#include "sim/trace.hpp"
+#include "stg/stg.hpp"
+
+namespace fact::sched {
+
+/// Scheduler configuration. Defaults reproduce the paper's setup: 25ns
+/// clock, 5V supply, and all three integrated scheduling capabilities on
+/// (implicit loop unrolling via pipelining, and concurrent-loop
+/// parallelization). Turning capabilities off is used by the ablation
+/// experiments.
+struct SchedOptions {
+  double clock_ns = 25.0;
+  double vdd = 5.0;
+  double vt = 1.0;
+  bool pipeline_loops = true;  // overlap iterations of straight-body loops
+  bool fuse_loops = true;      // parallelize independent adjacent loops
+  int max_ii = 64;             // give up pipelining past this II
+  size_t max_fused = 4;        // at most this many loops fused at once
+  int max_hyperperiod = 64;    // fused-phase schedule table size cap
+};
+
+/// What the scheduler decided for one loop (for reports and benches).
+struct LoopInfo {
+  int stmt_id = -1;
+  bool pipelined = false;
+  int ii = 0;           // initiation interval when pipelined
+  int body_csteps = 0;  // acyclic schedule length of one iteration
+  std::vector<int> fused_with;  // stmt ids of loops sharing a phase run
+};
+
+struct ScheduleResult {
+  stg::Stg stg;
+  std::vector<LoopInfo> loops;
+  /// True when the STG is cycle- and value-exact for the RTL backend.
+  /// Concurrent-loop (fused) phases are metrics-grade only: their rings
+  /// omit per-phase prologue/epilogue, so overlapped iterations read
+  /// stale wires around phase transitions. Schedule with
+  /// SchedOptions::fuse_loops = false to guarantee RTL-exact output.
+  bool rtl_exact = true;
+
+  const LoopInfo* loop_info(int stmt_id) const {
+    for (const auto& l : loops)
+      if (l.stmt_id == stmt_id) return &l;
+    return nullptr;
+  }
+};
+
+/// The CFI scheduler (the paper's Wavesched-style substrate, ref [13]).
+///
+/// Capabilities, matching Section 5's description:
+///  * resource-constrained list scheduling with operator chaining under
+///    the clock period, multi-cycling ops longer than one clock;
+///  * implicit loop unrolling / functional pipelining: loops whose body is
+///    one straight-line segment are modulo-scheduled at the smallest
+///    feasible initiation interval, overlapping iterations;
+///  * concurrent loop optimization: adjacent independent loops are fused
+///    into shared-resource phases; when one loop exits, the schedule
+///    transitions to a phase executing the survivors (the Figure 2(b)
+///    n0/n1/n2 structure), generated lazily per reachable loop subset.
+///
+/// The output STG annotates every state with the operations executed (with
+/// iteration tags, as in Figure 1(c)) and every edge with its probability,
+/// derived from the profile.
+class Scheduler {
+ public:
+  Scheduler(const hlslib::Library& lib, const hlslib::Allocation& alloc,
+            const hlslib::FuSelection& sel, SchedOptions opts = {});
+
+  /// Schedules the function. The profile supplies branch probabilities
+  /// (the paper's "simulate once, reuse"); it may be empty, in which case
+  /// branches default to probability 0.5.
+  ScheduleResult schedule(const ir::Function& fn,
+                          const sim::Profile& profile) const;
+
+ private:
+  // Stored by value: callers routinely pass temporaries (e.g.
+  // FuSelection::defaults(lib)) and the scheduler may outlive them.
+  hlslib::Library lib_;
+  hlslib::Allocation alloc_;
+  hlslib::FuSelection sel_;
+  SchedOptions opts_;
+};
+
+}  // namespace fact::sched

@@ -1,0 +1,225 @@
+#include "sim/interp.hpp"
+
+#include <cassert>
+
+#include "util/error.hpp"
+
+namespace fact::sim {
+
+using ir::Expr;
+using ir::ExprPtr;
+using ir::Op;
+using ir::Stmt;
+using ir::StmtKind;
+
+namespace {
+
+int64_t wrap_index(int64_t idx, size_t size) {
+  const int64_t n = static_cast<int64_t>(size);
+  int64_t m = idx % n;
+  if (m < 0) m += n;
+  return m;
+}
+
+struct Env {
+  std::map<std::string, int64_t> scalars;
+  std::map<std::string, std::vector<int64_t>> arrays;
+};
+
+int64_t eval_expr(const ExprPtr& e, const Env& env) {
+  switch (e->op()) {
+    case Op::Const:
+      return e->value();
+    case Op::Var: {
+      auto it = env.scalars.find(e->name());
+      // Uninitialized scalars read as 0, matching a register that was
+      // never written.
+      return it == env.scalars.end() ? 0 : it->second;
+    }
+    case Op::ArrayRead: {
+      auto it = env.arrays.find(e->name());
+      if (it == env.arrays.end() || it->second.empty())
+        throw Error("read of unknown array '" + e->name() + "'");
+      const int64_t idx = eval_expr(e->arg(0), env);
+      return it->second[static_cast<size_t>(
+          wrap_index(idx, it->second.size()))];
+    }
+    case Op::Add:
+      return eval_expr(e->arg(0), env) + eval_expr(e->arg(1), env);
+    case Op::Sub:
+      return eval_expr(e->arg(0), env) - eval_expr(e->arg(1), env);
+    case Op::Mul:
+      return eval_expr(e->arg(0), env) * eval_expr(e->arg(1), env);
+    case Op::Lt:
+      return eval_expr(e->arg(0), env) < eval_expr(e->arg(1), env) ? 1 : 0;
+    case Op::Le:
+      return eval_expr(e->arg(0), env) <= eval_expr(e->arg(1), env) ? 1 : 0;
+    case Op::Gt:
+      return eval_expr(e->arg(0), env) > eval_expr(e->arg(1), env) ? 1 : 0;
+    case Op::Ge:
+      return eval_expr(e->arg(0), env) >= eval_expr(e->arg(1), env) ? 1 : 0;
+    case Op::Eq:
+      return eval_expr(e->arg(0), env) == eval_expr(e->arg(1), env) ? 1 : 0;
+    case Op::Ne:
+      return eval_expr(e->arg(0), env) != eval_expr(e->arg(1), env) ? 1 : 0;
+    case Op::BitNot:
+      return ~eval_expr(e->arg(0), env);
+    case Op::Shl: {
+      const int64_t sh = eval_expr(e->arg(1), env) & 63;
+      return static_cast<int64_t>(static_cast<uint64_t>(eval_expr(e->arg(0), env))
+                                  << sh);
+    }
+    case Op::Shr: {
+      const int64_t sh = eval_expr(e->arg(1), env) & 63;
+      return eval_expr(e->arg(0), env) >> sh;
+    }
+    case Op::And:
+      return (eval_expr(e->arg(0), env) != 0 && eval_expr(e->arg(1), env) != 0)
+                 ? 1
+                 : 0;
+    case Op::Or:
+      return (eval_expr(e->arg(0), env) != 0 || eval_expr(e->arg(1), env) != 0)
+                 ? 1
+                 : 0;
+    case Op::Not:
+      return eval_expr(e->arg(0), env) == 0 ? 1 : 0;
+    case Op::Select:
+      return eval_expr(e->arg(0), env) != 0 ? eval_expr(e->arg(1), env)
+                                            : eval_expr(e->arg(2), env);
+  }
+  throw Error("eval: unknown op");
+}
+
+class Machine {
+ public:
+  Machine(const ir::Function& fn, Env env, uint64_t max_steps, RunStats* stats)
+      : fn_(fn), env_(std::move(env)), max_steps_(max_steps), stats_(stats) {}
+
+  void exec_list(const std::vector<ir::StmtPtr>& list) {
+    for (const auto& s : list) exec(*s);
+  }
+
+  Env take_env() { return std::move(env_); }
+
+ private:
+  void note_branch(int id, bool taken) {
+    if (!stats_) return;
+    auto& b = stats_->branches[id];
+    b.total++;
+    if (taken) b.taken++;
+  }
+
+  void tick() {
+    if (stats_) stats_->steps++;
+    if (++steps_ > max_steps_)
+      throw Error("interpreter exceeded step limit in '" + fn_.name() + "'");
+  }
+
+  void exec(const Stmt& s) {
+    tick();
+    switch (s.kind) {
+      case StmtKind::Assign:
+        env_.scalars[s.target] = eval_expr(s.value, env_);
+        break;
+      case StmtKind::Store: {
+        auto it = env_.arrays.find(s.target);
+        if (it == env_.arrays.end())
+          throw Error("store to unknown array '" + s.target + "'");
+        const int64_t idx = eval_expr(s.index, env_);
+        const int64_t val = eval_expr(s.value, env_);
+        it->second[static_cast<size_t>(wrap_index(idx, it->second.size()))] =
+            val;
+        break;
+      }
+      case StmtKind::If: {
+        const bool taken = eval_expr(s.cond, env_) != 0;
+        note_branch(s.id, taken);
+        exec_list(taken ? s.then_stmts : s.else_stmts);
+        break;
+      }
+      case StmtKind::While:
+        for (;;) {
+          const bool closed = eval_expr(s.cond, env_) != 0;
+          note_branch(s.id, closed);
+          if (!closed) break;
+          tick();
+          exec_list(s.then_stmts);
+        }
+        break;
+      case StmtKind::Block:
+        exec_list(s.stmts);
+        break;
+    }
+  }
+
+  const ir::Function& fn_;
+  Env env_;
+  uint64_t max_steps_;
+  RunStats* stats_;
+  uint64_t steps_ = 0;
+};
+
+}  // namespace
+
+double RunStats::branch_prob(int stmt_id, double fallback) const {
+  auto it = branches.find(stmt_id);
+  if (it == branches.end() || it->second.total == 0) return fallback;
+  return it->second.probability();
+}
+
+double RunStats::expected_iterations(int stmt_id, double fallback) const {
+  auto it = branches.find(stmt_id);
+  if (it == branches.end() || it->second.total == 0) return fallback;
+  const double p = it->second.probability();
+  if (p >= 1.0) return 1e9;  // never-exiting loop observed; effectively inf
+  return p / (1.0 - p);
+}
+
+void RunStats::merge(const RunStats& other) {
+  for (const auto& [id, b] : other.branches) {
+    branches[id].taken += b.taken;
+    branches[id].total += b.total;
+  }
+  steps += other.steps;
+}
+
+Observation Interpreter::run(const Stimulus& in, RunStats* stats) const {
+  Env env;
+  for (const auto& p : fn_.params()) {
+    auto it = in.params.find(p);
+    env.scalars[p] = it == in.params.end() ? 0 : it->second;
+  }
+  for (const auto& a : fn_.arrays()) {
+    auto& mem = env.arrays[a.name];
+    mem.assign(a.size, 0);
+    if (a.is_input) {
+      auto it = in.arrays.find(a.name);
+      if (it != in.arrays.end()) {
+        const size_t n = std::min(a.size, it->second.size());
+        for (size_t i = 0; i < n; ++i) mem[i] = it->second[i];
+      }
+    }
+  }
+
+  Machine m(fn_, std::move(env), max_steps_, stats);
+  assert(fn_.body() && fn_.body()->kind == StmtKind::Block);
+  m.exec_list(fn_.body()->stmts);
+  Env final_env = m.take_env();
+
+  Observation obs;
+  for (const auto& o : fn_.outputs()) {
+    auto it = final_env.scalars.find(o);
+    obs.outputs[o] = it == final_env.scalars.end() ? 0 : it->second;
+  }
+  obs.arrays = std::move(final_env.arrays);
+  return obs;
+}
+
+int64_t Interpreter::eval(
+    const ir::ExprPtr& e, const std::map<std::string, int64_t>& scalars,
+    const std::map<std::string, std::vector<int64_t>>& arrays) {
+  Env env{scalars, arrays};
+  return eval_expr(e, env);
+}
+
+}  // namespace fact::sim

@@ -1,0 +1,163 @@
+#include "stg/stg.hpp"
+
+#include <cmath>
+#include <queue>
+
+#include "util/dot.hpp"
+#include "util/error.hpp"
+#include "util/strfmt.hpp"
+
+namespace fact::stg {
+
+int Stg::add_state(const std::string& name) {
+  State s;
+  s.name = name.empty() ? strfmt("S%zu", states_.size()) : name;
+  states_.push_back(std::move(s));
+  return static_cast<int>(states_.size()) - 1;
+}
+
+int Stg::add_edge(int from, int to, double prob, const std::string& cond_label,
+                  bool exec_boundary) {
+  if (from < 0 || static_cast<size_t>(from) >= states_.size() || to < 0 ||
+      static_cast<size_t>(to) >= states_.size())
+    throw Error("Stg::add_edge: state index out of range");
+  Edge e;
+  e.from = from;
+  e.to = to;
+  e.prob = prob;
+  e.cond_label = cond_label;
+  e.exec_boundary = exec_boundary;
+  edges_.push_back(e);
+  const int idx = static_cast<int>(edges_.size()) - 1;
+  states_[static_cast<size_t>(from)].out_edges.push_back(idx);
+  return idx;
+}
+
+void Stg::validate() const {
+  if (states_.empty()) throw Error("STG has no states");
+  if (entry_ < 0 || static_cast<size_t>(entry_) >= states_.size())
+    throw Error("STG entry state out of range");
+
+  bool has_boundary = false;
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const State& s = states_[i];
+    if (s.out_edges.empty())
+      throw Error("STG state '" + s.name + "' has no outgoing edge");
+    double sum = 0.0;
+    for (int ei : s.out_edges) {
+      const Edge& e = edges_[static_cast<size_t>(ei)];
+      if (e.prob < -1e-9 || e.prob > 1.0 + 1e-9)
+        throw Error(strfmt("STG edge %s->%s has probability %g out of [0,1]",
+                           s.name.c_str(),
+                           states_[static_cast<size_t>(e.to)].name.c_str(),
+                           e.prob));
+      sum += e.prob;
+      if (e.exec_boundary) has_boundary = true;
+    }
+    if (std::fabs(sum - 1.0) > 1e-6)
+      throw Error(strfmt("STG state '%s' outgoing probabilities sum to %g",
+                         s.name.c_str(), sum));
+  }
+  if (!has_boundary)
+    throw Error("STG has no execution-boundary edge");
+
+  // Reachability from entry.
+  std::vector<bool> seen(states_.size(), false);
+  std::queue<int> work;
+  work.push(entry_);
+  seen[static_cast<size_t>(entry_)] = true;
+  while (!work.empty()) {
+    const int s = work.front();
+    work.pop();
+    for (int ei : states_[static_cast<size_t>(s)].out_edges) {
+      const int t = edges_[static_cast<size_t>(ei)].to;
+      if (!seen[static_cast<size_t>(t)]) {
+        seen[static_cast<size_t>(t)] = true;
+        work.push(t);
+      }
+    }
+  }
+  for (size_t i = 0; i < states_.size(); ++i)
+    if (!seen[i])
+      throw Error("STG state '" + states_[i].name + "' unreachable from entry");
+}
+
+std::string Stg::dot(const std::string& graph_name) const {
+  DotWriter w(graph_name);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    const State& s = states_[i];
+    std::string label = s.name;
+    for (const auto& op : s.ops) {
+      label += "\n" + op.label;
+      if (op.iteration != 0) label += strfmt("_%d", op.iteration);
+    }
+    w.node(strfmt("s%zu", i), label,
+           i == static_cast<size_t>(entry_) ? "shape=doublecircle" : "shape=circle");
+  }
+  for (const Edge& e : edges_) {
+    std::string label = strfmt("(%.2f)", e.prob);
+    if (!e.cond_label.empty()) label = e.cond_label + " " + label;
+    w.edge(strfmt("s%d", e.from), strfmt("s%d", e.to), label,
+           e.exec_boundary ? "style=bold" : "");
+  }
+  return w.str();
+}
+
+std::vector<double> state_probabilities(const Stg& stg) {
+  const size_t n = stg.num_states();
+  // Solve pi P = pi, sum pi = 1. Build A = P^T - I (n x n), then replace
+  // the last row with all-ones (normalization). Gaussian elimination with
+  // partial pivoting; n is at most a few thousand states.
+  std::vector<std::vector<double>> a(n, std::vector<double>(n + 1, 0.0));
+  for (const Edge& e : stg.edges())
+    a[static_cast<size_t>(e.to)][static_cast<size_t>(e.from)] += e.prob;
+  for (size_t i = 0; i < n; ++i) a[i][i] -= 1.0;
+  for (size_t j = 0; j < n; ++j) a[n - 1][j] = 1.0;
+  a[n - 1][n] = 1.0;
+
+  for (size_t col = 0; col < n; ++col) {
+    size_t pivot = col;
+    for (size_t r = col + 1; r < n; ++r)
+      if (std::fabs(a[r][col]) > std::fabs(a[pivot][col])) pivot = r;
+    if (std::fabs(a[pivot][col]) < 1e-14)
+      throw Error("state_probabilities: singular chain (STG not ergodic)");
+    std::swap(a[col], a[pivot]);
+    for (size_t r = 0; r < n; ++r) {
+      if (r == col) continue;
+      const double f = a[r][col] / a[col][col];
+      if (f == 0.0) continue;
+      for (size_t c = col; c <= n; ++c) a[r][c] -= f * a[col][c];
+    }
+  }
+  std::vector<double> pi(n);
+  for (size_t i = 0; i < n; ++i) {
+    pi[i] = a[i][n] / a[i][i];
+    if (pi[i] < 0.0 && pi[i] > -1e-9) pi[i] = 0.0;
+  }
+  return pi;
+}
+
+double average_schedule_length(const Stg& stg) {
+  return average_schedule_length(stg, state_probabilities(stg));
+}
+
+double average_schedule_length(const Stg& stg, const std::vector<double>& pi) {
+  double boundary_rate = 0.0;
+  for (const Edge& e : stg.edges())
+    if (e.exec_boundary)
+      boundary_rate += pi[static_cast<size_t>(e.from)] * e.prob;
+  if (boundary_rate <= 0.0)
+    throw Error("average_schedule_length: no reachable execution boundary");
+  return 1.0 / boundary_rate;
+}
+
+std::vector<double> edge_frequencies(const Stg& stg) {
+  const std::vector<double> pi = state_probabilities(stg);
+  std::vector<double> freq;
+  freq.reserve(stg.num_edges());
+  for (const Edge& e : stg.edges())
+    freq.push_back(pi[static_cast<size_t>(e.from)] * e.prob);
+  return freq;
+}
+
+}  // namespace fact::stg

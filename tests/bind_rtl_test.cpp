@@ -1,0 +1,232 @@
+#include <gtest/gtest.h>
+
+#include "bind/binding.hpp"
+#include "lang/parser.hpp"
+#include "rtl/verilog.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fact {
+namespace {
+
+sched::ScheduleResult schedule_workload(const workloads::Workload& w) {
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  return scheduler.schedule(w.fn, profile);
+}
+
+// ---- binding ------------------------------------------------------------
+
+class BindingOnBenchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(BindingOnBenchmarks, RespectsAllocationEverywhere) {
+  const workloads::Workload w = workloads::by_name(GetParam());
+  const auto lib = hlslib::Library::dac98();
+  const sched::ScheduleResult sr = schedule_workload(w);
+  const bind::Binding b = bind::bind_datapath(sr.stg, lib, w.allocation);
+
+  // Instance counts never exceed the allocation.
+  for (const auto& [key, n] : b.fu_instances_used) {
+    const std::string base = key.substr(0, key.find(':'));
+    if (lib.get(base).cls == hlslib::FuClass::Memory) {
+      EXPECT_LE(n, 1) << key;
+    } else {
+      EXPECT_LE(n, w.allocation.count(base)) << key;
+    }
+  }
+  // Every datapath op got an instance; per state, (type, instance) pairs
+  // are unique for non-memory FUs.
+  std::map<int, std::set<std::pair<std::string, int>>> per_state;
+  for (const auto& op : b.ops) {
+    if (lib.get(op.fu_type).cls == hlslib::FuClass::Memory) continue;
+    EXPECT_TRUE(
+        per_state[op.state].insert({op.fu_type, op.fu_instance}).second)
+        << "instance double-booked in state " << op.state;
+  }
+  EXPECT_GT(b.area(lib), 0.0);
+  EXPECT_FALSE(b.report(lib).empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, BindingOnBenchmarks,
+                         ::testing::Values("GCD", "FIR", "TEST2", "SINTRAN",
+                                           "IGF", "PPS"));
+
+TEST(Binding, RegistersSharedAcrossDisjointLifetimes) {
+  // v1 dies before v2 is born: one register suffices.
+  const auto fn = lang::parse_function(R"(
+F(int a) {
+  int v1 = a + 1;
+  int u = v1 * 2;
+  int v2 = u + 3;
+  int z = v2 * 5;
+  output z;
+}
+)");
+  const workloads::Workload dummy{"", "", fn.clone(), {}, {}};
+  const auto lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  alloc.counts = {{"a1", 1}, {"mt1", 1}, {"i1", 1}};
+  const sim::Trace trace = sim::generate_trace(fn, {}, 7);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), {});
+  const auto sr = scheduler.schedule(fn, profile);
+  const bind::Binding b = bind::bind_datapath(sr.stg, lib, alloc);
+  // Variables: a, v1, u, v2, z — with sharing, strictly fewer registers.
+  EXPECT_LT(b.registers.size(), 5u);
+  size_t folded = 0;
+  for (const auto& r : b.registers) folded += r.variables.size();
+  EXPECT_EQ(folded, 5u);
+}
+
+TEST(Binding, MuxFreeWhenSourcesConsistent) {
+  const auto fn = lang::parse_function(
+      "F(int a, int b) { int x = a + b; output x; }");
+  const auto lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  alloc.counts = {{"a1", 1}};
+  const sim::Trace trace = sim::generate_trace(fn, {}, 7);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), {});
+  const auto sr = scheduler.schedule(fn, profile);
+  const bind::Binding b = bind::bind_datapath(sr.stg, lib, alloc);
+  EXPECT_EQ(b.total_mux_inputs(), 0);
+}
+
+TEST(Binding, MuxCountsDistinctSources) {
+  // One adder, two adds with different operands: port muxing appears.
+  const auto fn = lang::parse_function(
+      "F(int a, int b, int c, int d) { int x = a + b; int y = c + d; int z = x + y; output z; }");
+  const auto lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  alloc.counts = {{"a1", 1}};
+  const sim::Trace trace = sim::generate_trace(fn, {}, 7);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), {});
+  const auto sr = scheduler.schedule(fn, profile);
+  const bind::Binding b = bind::bind_datapath(sr.stg, lib, alloc);
+  EXPECT_GT(b.total_mux_inputs(), 0);
+  // Area grows with muxing: strictly above the FU+register floor.
+  EXPECT_GT(b.area(lib), lib.get("a1").area);
+}
+
+// ---- RTL ------------------------------------------------------------------
+
+TEST(Rtl, GcdModuleStructure) {
+  const workloads::Workload w = workloads::make_gcd();
+  const sched::ScheduleResult sr = schedule_workload(w);
+  const std::string v = rtl::emit_verilog(w.fn, sr.stg);
+
+  EXPECT_NE(v.find("module GCD ("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  // Written parameters are latched from in_* ports.
+  EXPECT_NE(v.find("input  wire [31:0] in_a"), std::string::npos);
+  EXPECT_NE(v.find("a = in_a;"), std::string::npos);
+  EXPECT_NE(v.find("output wire [31:0] out_a"), std::string::npos);
+  // One localparam per state.
+  size_t count = 0;
+  for (size_t pos = 0; (pos = v.find("localparam S", pos)) != std::string::npos;
+       ++pos)
+    ++count;
+  EXPECT_EQ(count, sr.stg.num_states());
+  // done pulses on the boundary.
+  EXPECT_NE(v.find("done = 1'b1;"), std::string::npos);
+}
+
+TEST(Rtl, BeginEndBalanced) {
+  for (const char* name : {"GCD", "FIR", "SINTRAN", "PPS", "IGF", "TEST2"}) {
+    const workloads::Workload w = workloads::by_name(name);
+    const sched::ScheduleResult sr = schedule_workload(w);
+    const std::string v = rtl::emit_verilog(w.fn, sr.stg);
+    // Token-accurate counting of begin/end/endcase/endmodule.
+    size_t begins = 0, ends = 0, endcases = 0, endmodules = 0;
+    std::string token;
+    auto flush = [&] {
+      if (token == "begin") ++begins;
+      if (token == "end") ++ends;
+      if (token == "endcase") ++endcases;
+      if (token == "endmodule") ++endmodules;
+      token.clear();
+    };
+    for (char c : v) {
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        token.push_back(c);
+      } else {
+        flush();
+      }
+    }
+    flush();
+    EXPECT_EQ(ends, begins) << name;
+    EXPECT_EQ(endcases, 1u) << name;
+    EXPECT_EQ(endmodules, 1u) << name;
+  }
+}
+
+TEST(Rtl, MemoriesDeclaredWithSizes) {
+  const workloads::Workload w = workloads::make_fir();
+  const sched::ScheduleResult sr = schedule_workload(w);
+  const std::string v = rtl::emit_verilog(w.fn, sr.stg);
+  EXPECT_NE(v.find("reg [31:0] mem_x [0:23];"), std::string::npos);
+  EXPECT_NE(v.find("reg [31:0] mem_c [0:7];"), std::string::npos);
+  EXPECT_NE(v.find("reg [31:0] mem_y [0:15];"), std::string::npos);
+  // Memory reads and writes are rendered.
+  EXPECT_NE(v.find("mem_x["), std::string::npos);
+  EXPECT_NE(v.find("mem_y["), std::string::npos);
+}
+
+TEST(Rtl, ShadowRegistersRestoreRelaxedAntiDeps) {
+  // A pipelined loop storing y[i] before i++ needs i's pre-increment
+  // value when the scheduler hoisted the increment.
+  // Two reads of x force II=2 (one memory port), splitting the kernel
+  // across states: the increment lands in an earlier state than reads of
+  // the pre-increment i.
+  const auto fn = lang::parse_function(R"(
+F(int g) {
+  input int x[16];
+  int y[16];
+  int i = 0;
+  while (i < 15) {
+    y[i] = x[i] + x[i + 1];
+    i = i + 1;
+  }
+  output i;
+}
+)");
+  const auto lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  alloc.counts = {{"a1", 1}, {"i1", 1}};
+  const sim::Trace trace = sim::generate_trace(fn, {}, 7);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), {});
+  const auto sr = scheduler.schedule(fn, profile);
+  ASSERT_TRUE(sr.loops[0].pipelined);
+  if (sr.loops[0].body_csteps > sr.loops[0].ii) {
+    const std::string v = rtl::emit_verilog(fn, sr.stg);
+    EXPECT_NE(v.find("i__pre"), std::string::npos);
+  }
+}
+
+TEST(Rtl, WidthAndNameOptionsHonored) {
+  const auto fn =
+      lang::parse_function("F(int a) { int x = a + 1; output x; }");
+  const sim::Trace trace = sim::generate_trace(fn, {}, 7);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  const auto lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  alloc.counts = {{"a1", 1}};
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), {});
+  const auto sr = scheduler.schedule(fn, profile);
+  rtl::RtlOptions opts;
+  opts.width = 16;
+  opts.module_name = "adder16";
+  const std::string v = rtl::emit_verilog(fn, sr.stg, opts);
+  EXPECT_NE(v.find("module adder16 ("), std::string::npos);
+  EXPECT_NE(v.find("[15:0]"), std::string::npos);
+  EXPECT_EQ(v.find("[31:0]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fact

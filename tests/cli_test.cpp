@@ -1,0 +1,88 @@
+// End-to-end tests of the factc command-line driver (the binary path is
+// injected by CMake as FACTC_PATH).
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace {
+
+struct CliResult {
+  int exit_code = -1;
+  std::string output;
+};
+
+CliResult run_cli(const std::string& args) {
+  const std::string cmd = std::string(FACTC_PATH) + " " + args + " 2>&1";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  CliResult r;
+  if (!pipe) return r;
+  char buf[512];
+  while (fgets(buf, sizeof(buf), pipe)) r.output += buf;
+  r.exit_code = WEXITSTATUS(pclose(pipe));
+  return r;
+}
+
+TEST(Cli, BenchmarkAllMethods) {
+  const CliResult r = run_cli("--benchmark GCD --method all --quiet");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("M1"), std::string::npos);
+  EXPECT_NE(r.output.find("Flamel"), std::string::npos);
+  EXPECT_NE(r.output.find("FACT"), std::string::npos);
+  EXPECT_NE(r.output.find("avg length"), std::string::npos);
+}
+
+TEST(Cli, PowerObjectiveReportsVdd) {
+  const CliResult r = run_cli("--benchmark PPS --objective power");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("scaled Vdd"), std::string::npos);
+}
+
+TEST(Cli, SourceFileFlow) {
+  const std::string path = ::testing::TempDir() + "cli_test_src.fact";
+  {
+    std::ofstream f(path);
+    f << "MINI(int a, int b) { int x = a * b + a; output x; }\n";
+  }
+  const CliResult r = run_cli(path + " --alloc a1=1,mt1=1 --quiet");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("FACT"), std::string::npos);
+}
+
+TEST(Cli, EmitsArtifacts) {
+  const std::string vpath = ::testing::TempDir() + "cli_test_out.v";
+  const std::string dpath = ::testing::TempDir() + "cli_test_out.dot";
+  const CliResult r = run_cli("--benchmark GCD --quiet --no-fuse --emit-verilog " +
+                              vpath + " --emit-stg " + dpath);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  std::ifstream v(vpath);
+  ASSERT_TRUE(v.good());
+  std::stringstream vs;
+  vs << v.rdbuf();
+  EXPECT_NE(vs.str().find("module GCD"), std::string::npos);
+  EXPECT_NE(vs.str().find("endmodule"), std::string::npos);
+  std::ifstream d(dpath);
+  ASSERT_TRUE(d.good());
+  std::stringstream ds;
+  ds << d.rdbuf();
+  EXPECT_NE(ds.str().find("digraph"), std::string::npos);
+}
+
+TEST(Cli, BadUsageFails) {
+  EXPECT_NE(run_cli("").exit_code, 0);
+  EXPECT_NE(run_cli("--benchmark NOPE").exit_code, 0);
+  EXPECT_NE(run_cli("--benchmark GCD --alloc bogus=1").exit_code, 0);
+  EXPECT_NE(run_cli("/nonexistent/file.fact").exit_code, 0);
+}
+
+TEST(Cli, InfeasibleAllocationDiagnosed) {
+  // GCD needs subtracters; give it none.
+  const CliResult r = run_cli("--benchmark GCD --alloc cp1=1,e1=1 --method m1");
+  EXPECT_NE(r.exit_code, 0);
+  EXPECT_NE(r.output.find("error"), std::string::npos);
+}
+
+}  // namespace

@@ -1,0 +1,188 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "sim/trace.hpp"
+#include "xform/transform.hpp"
+
+namespace fact::xform {
+namespace {
+
+ir::Function parse(const std::string& src) { return lang::parse_function(src); }
+
+void check_equiv(const Transform& t, const ir::Function& fn,
+                 const Candidate& c) {
+  const ir::Function g = t.apply(fn, c);
+  const sim::Trace trace = sim::generate_trace(fn, {}, 13);
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, g, trace))
+      << c.describe() << "\n" << g.str();
+}
+
+TEST(FwdSub, SubstitutesDefinitionIntoUse) {
+  const auto t = make_forward_substitution();
+  const auto fn = parse(
+      "F(int a, int b) { int s = a * b; int y = s + 1; output y; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_EQ(cands.size(), 1u);
+  const ir::Function g = t->apply(fn, cands[0]);
+  const ir::Stmt* y = nullptr;
+  g.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.target == "y") y = &s;
+  });
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->value->str(), "((a * b) + 1)");
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(FwdSub, WindowClosedByRedefinition) {
+  const auto t = make_forward_substitution();
+  const auto fn = parse(R"(
+F(int a) {
+  int s = a * 2;
+  a = a + 1;
+  int y = s + 1;
+  output y;
+}
+)");
+  // `a = a + 1` clobbers s's input: no candidate may reach y.
+  for (const auto& c : t->find(fn, {})) {
+    const ir::Stmt* use = fn.find_stmt(c.stmt_id);
+    ASSERT_NE(use, nullptr);
+    EXPECT_NE(use->target, "y");
+  }
+}
+
+TEST(FwdSub, MemoryReadsBlockedByStores) {
+  const auto t = make_forward_substitution();
+  const auto fn = parse(R"(
+F(int a) {
+  int m[4];
+  int s = m[0] + 1;
+  m[0] = a;
+  int y = s * 2;
+  output y;
+}
+)");
+  for (const auto& c : t->find(fn, {})) {
+    const ir::Stmt* use = fn.find_stmt(c.stmt_id);
+    EXPECT_NE(use->target, "y");
+  }
+}
+
+TEST(FwdSub, WhileConditionNeverTargeted) {
+  const auto t = make_forward_substitution();
+  const auto fn = parse(R"(
+F(int a) {
+  int limit = a * 2;
+  int i = 0;
+  while (i < limit) { i = i + 1; }
+  output i;
+}
+)");
+  // Substituting into the while condition would be legal here (nothing in
+  // the body writes a), but the transform is conservatively blocked.
+  for (const auto& c : t->find(fn, {})) {
+    const ir::Stmt* use = fn.find_stmt(c.stmt_id);
+    EXPECT_NE(use->kind, ir::StmtKind::While);
+    check_equiv(*t, fn, c);
+  }
+}
+
+TEST(Dce, RemovesDeadAndKeepsLive) {
+  const auto t = make_dead_code_elimination();
+  const auto fn = parse(R"(
+F(int a) {
+  int dead = a * 3;
+  int live = a + 1;
+  output live;
+}
+)");
+  const auto cands = t->find(fn, {});
+  ASSERT_EQ(cands.size(), 1u);
+  const ir::Function g = t->apply(fn, cands[0]);
+  bool has_dead = false;
+  g.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.target == "dead") has_dead = true;
+  });
+  EXPECT_FALSE(has_dead);
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(Dce, LoopCarriedVariablesAreLive) {
+  const auto t = make_dead_code_elimination();
+  const auto fn = parse(R"(
+F(int n) {
+  int acc = 0;
+  int i = 0;
+  while (i < n) { acc = acc + i; i = i + 1; }
+  output acc;
+}
+)");
+  // acc/i are read by later iterations: nothing is dead.
+  EXPECT_TRUE(t->find(fn, {}).empty());
+}
+
+TEST(Cse, HoistsRepeatedSubexpression) {
+  const auto t = make_common_subexpression_elimination();
+  const auto fn = parse(
+      "F(int a, int b) { int y = (a * b) + (a * b); output y; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  const ir::Function g = t->apply(fn, cands[0]);
+  // One multiply remains, factored through a temp.
+  size_t muls = 0;
+  g.for_each([&](const ir::Stmt& s) {
+    for (const auto* slot : s.expr_slots())
+      ir::for_each_node(*slot, [&](const ir::ExprPtr& e) {
+        if (e->op() == ir::Op::Mul) muls++;
+      });
+  });
+  EXPECT_EQ(muls, 1u);
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(Cse, CountsNestedRepeats) {
+  const auto t = make_common_subexpression_elimination();
+  // (a+b) occurs twice, ((a+b)*c) twice: both are candidates.
+  const auto fn = parse(
+      "F(int a, int b, int c) { int y = ((a + b) * c) - (((a + b) * c) >> 1); output y; }");
+  const auto cands = t->find(fn, {});
+  EXPECT_GE(cands.size(), 2u);
+  for (const auto& c : cands) check_equiv(*t, fn, c);
+}
+
+TEST(Cse, NoCandidateWithoutRepeats) {
+  const auto t = make_common_subexpression_elimination();
+  const auto fn = parse("F(int a, int b) { int y = a * b + a; output y; }");
+  EXPECT_TRUE(t->find(fn, {}).empty());
+}
+
+TEST(Cse, PairsWithSpeculationDuplicates) {
+  // Speculation duplicates x*k into both select arms; CSE re-shares it.
+  const auto lib = TransformLibrary::standard();
+  const auto fn = parse(R"(
+F(int c, int x, int k) {
+  int y = 0;
+  if (c > 0) { y = x * k + 1; } else { y = x * k - 1; }
+  output y;
+}
+)");
+  const sim::Trace trace = sim::generate_trace(fn, {}, 13);
+  const Transform* spec = lib.find_transform("speculate");
+  ir::Function cur = spec->apply(fn, spec->find(fn, {})[0]);
+  const Transform* cse = lib.find_transform("cse");
+  const auto cands = cse->find(cur, {});
+  ASSERT_FALSE(cands.empty());
+  cur = cse->apply(cur, cands[0]);
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, cur, trace)) << cur.str();
+  size_t muls = 0;
+  cur.for_each([&](const ir::Stmt& s) {
+    for (const auto* slot : s.expr_slots())
+      ir::for_each_node(*slot, [&](const ir::ExprPtr& e) {
+        if (e->op() == ir::Op::Mul) muls++;
+      });
+  });
+  EXPECT_EQ(muls, 1u);
+}
+
+}  // namespace
+}  // namespace fact::xform

@@ -1,0 +1,93 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "opt/fuselect.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fact::opt {
+namespace {
+
+TEST(FuSelect, LowPowerLibraryExtendsDac98) {
+  const auto lib = hlslib::Library::dac98_lowpower();
+  ASSERT_NE(lib.find("a1_lp"), nullptr);
+  EXPECT_LT(lib.get("a1_lp").energy_coeff, lib.get("a1").energy_coeff);
+  EXPECT_GT(lib.get("a1_lp").delay_ns, lib.get("a1").delay_ns);
+  EXPECT_EQ(lib.all_of(hlslib::FuClass::Adder).size(), 2u);
+  EXPECT_EQ(lib.all_of(hlslib::FuClass::Multiplier).size(), 2u);
+}
+
+TEST(FuSelect, SwapsWhereSlackExists) {
+  // GCD at II>=1 has slack on every unit: comparisons and subtractions
+  // move to the _lp variants, power drops, throughput holds.
+  const workloads::Workload w = workloads::make_gcd();
+  const auto lib = hlslib::Library::dac98_lowpower();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  const auto sr = scheduler.schedule(w.fn, profile);
+  const double base_len = stg::average_schedule_length(sr.stg);
+  const double base_power = power::estimate_power(sr.stg, lib, {}).power;
+
+  const FuSelectResult r = explore_fu_selection(w.fn, lib, w.allocation, sel,
+                                                trace, {}, {}, base_len);
+  EXPECT_LT(r.power, base_power);
+  EXPECT_LE(r.avg_len, base_len * 1.001);
+  EXPECT_FALSE(r.log.empty());
+  // The chosen types really are the low-power ones.
+  EXPECT_EQ(r.selection.choice.at(ir::Op::Sub), "sb1_lp");
+}
+
+TEST(FuSelect, RefusesSwapsThatLoseThroughput) {
+  // PPS's balanced adder tree chains two 10ns adds per 25ns cycle; a
+  // 16ns ripple-carry adder cannot chain, so no swap is acceptable.
+  const workloads::Workload w = workloads::make_pps();
+  const auto lib = hlslib::Library::dac98_lowpower();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  const auto sr = scheduler.schedule(w.fn, profile);
+  const double base_len = stg::average_schedule_length(sr.stg);
+
+  const FuSelectResult r = explore_fu_selection(w.fn, lib, w.allocation, sel,
+                                                trace, {}, {}, base_len);
+  EXPECT_EQ(r.selection.choice.at(ir::Op::Add), "a1");
+  EXPECT_LE(r.avg_len, base_len * 1.001);
+}
+
+TEST(FuSelect, AllocationTransfersWithSwap) {
+  const workloads::Workload w = workloads::make_gcd();
+  const auto lib = hlslib::Library::dac98_lowpower();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  const auto sr = scheduler.schedule(w.fn, profile);
+  const double base_len = stg::average_schedule_length(sr.stg);
+  const FuSelectResult r = explore_fu_selection(w.fn, lib, w.allocation, sel,
+                                                trace, {}, {}, base_len);
+  if (r.selection.choice.at(ir::Op::Sub) == "sb1_lp") {
+    EXPECT_EQ(r.allocation.count("sb1_lp"), w.allocation.count("sb1"));
+    EXPECT_EQ(r.allocation.count("sb1"), 0);
+  }
+}
+
+TEST(FuSelect, StructuralOverheadScalesWithComplexity) {
+  const workloads::Workload w = workloads::make_gcd();
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  const auto sr = scheduler.schedule(w.fn, profile);
+  const double lean =
+      power::structural_overhead_fraction(sr.stg, lib, /*mux=*/0, /*regs=*/2);
+  const double muxy =
+      power::structural_overhead_fraction(sr.stg, lib, /*mux=*/40, /*regs=*/8);
+  EXPECT_GT(lean, 0.0);
+  EXPECT_GT(muxy, lean);
+}
+
+}  // namespace
+}  // namespace fact::opt

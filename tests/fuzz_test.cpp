@@ -1,0 +1,190 @@
+// Property-based fuzzing over randomly generated behaviors: every
+// transformation must preserve semantics, every schedule must produce a
+// valid STG, and the RTL backend must be cycle-for-value equivalent to
+// the behavioral interpreter (fusion disabled, per its documented scope).
+
+#include <gtest/gtest.h>
+
+#include "program_gen.hpp"
+#include "rtl/sim.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "xform/transform.hpp"
+
+namespace fact {
+namespace {
+
+sim::Trace fuzz_trace(const ir::Function& fn, uint64_t seed) {
+  sim::TraceConfig tc;
+  tc.executions = 6;
+  sim::InputSpec spec;
+  spec.kind = sim::InputSpec::Kind::Uniform;
+  spec.lo = -20;
+  spec.hi = 20;
+  for (const auto& p : fn.params()) tc.params[p] = spec;
+  for (const auto& a : fn.arrays()) tc.arrays[a.name] = spec;
+  return sim::generate_trace(fn, tc, seed);
+}
+
+hlslib::Allocation generous_allocation(const hlslib::Library& lib) {
+  hlslib::Allocation alloc;
+  for (const auto& t : lib.types()) alloc.counts[t.name] = 2;
+  return alloc;
+}
+
+class FuzzSeeds : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FuzzSeeds, AllTransformsPreserveSemantics) {
+  const ir::Function fn = testgen::random_program(GetParam());
+  const sim::Trace trace = fuzz_trace(fn, GetParam() * 31 + 1);
+  const auto lib = xform::TransformLibrary::standard();
+  size_t checked = 0;
+  for (const auto& t : lib.transforms()) {
+    auto cands = t->find(fn, {});
+    // Cap per transform to keep the suite fast; candidates are ordered
+    // deterministically so coverage is stable.
+    if (cands.size() > 12) cands.resize(12);
+    for (const auto& c : cands) {
+      const ir::Function g = t->apply(fn, c);
+      ASSERT_TRUE(sim::equivalent_on_trace(fn, g, trace))
+          << "seed " << GetParam() << ": " << c.describe() << "\nbefore:\n"
+          << fn.str() << "after:\n"
+          << g.str();
+      checked++;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(FuzzSeeds, SecondOrderTransformCompositions) {
+  const ir::Function fn = testgen::random_program(GetParam());
+  const sim::Trace trace = fuzz_trace(fn, GetParam() * 37 + 5);
+  const auto lib = xform::TransformLibrary::standard();
+  Rng rng(GetParam());
+  ir::Function cur = fn.clone();
+  for (int step = 0; step < 6; ++step) {
+    const auto cands = lib.find_all(cur, {});
+    if (cands.empty()) break;
+    const auto& c =
+        cands[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(cands.size()) - 1))];
+    ir::Function next = lib.apply(cur, c);
+    ASSERT_TRUE(sim::equivalent_on_trace(fn, next, trace))
+        << "seed " << GetParam() << " step " << step << ": " << c.describe()
+        << "\n"
+        << next.str();
+    cur = std::move(next);
+  }
+}
+
+TEST_P(FuzzSeeds, SchedulerProducesValidStg) {
+  const ir::Function fn = testgen::random_program(GetParam());
+  const sim::Trace trace = fuzz_trace(fn, GetParam() * 41 + 3);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  const auto lib = hlslib::Library::dac98();
+  const auto alloc = generous_allocation(lib);
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), {});
+  const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
+  sr.stg.validate();
+  EXPECT_GT(stg::average_schedule_length(sr.stg), 0.0);
+}
+
+TEST_P(FuzzSeeds, RtlMatchesInterpreter) {
+  const ir::Function fn = testgen::random_program(GetParam());
+  const sim::Trace trace = fuzz_trace(fn, GetParam() * 43 + 7);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  const auto lib = hlslib::Library::dac98();
+  const auto alloc = generous_allocation(lib);
+  sched::SchedOptions so;
+  so.fuse_loops = false;  // RTL-exact scheduling mode
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), so);
+  const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
+  ASSERT_TRUE(sr.rtl_exact);
+  const rtl::RtlPlan plan = rtl::build_rtl_plan(fn, sr.stg);
+  sim::Interpreter interp(fn);
+  for (const auto& stim : trace) {
+    const sim::Observation ref = interp.run(stim);
+    const rtl::RtlSimResult got = rtl::simulate_rtl(fn, plan, stim);
+    ASSERT_TRUE(got.completed) << "seed " << GetParam();
+    ASSERT_EQ(got.obs, ref) << "seed " << GetParam() << "\n" << fn.str();
+  }
+}
+
+TEST_P(FuzzSeeds, RtlMatchesInterpreterAfterTransforms) {
+  const ir::Function fn = testgen::random_program(GetParam());
+  const sim::Trace trace = fuzz_trace(fn, GetParam() * 47 + 11);
+  const auto xlib = xform::TransformLibrary::standard();
+  Rng rng(GetParam() + 99);
+  ir::Function cur = fn.clone();
+  for (int step = 0; step < 4; ++step) {
+    const auto cands = xlib.find_all(cur, {});
+    if (cands.empty()) break;
+    cur = xlib.apply(
+        cur,
+        cands[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(cands.size()) - 1))]);
+  }
+  const sim::Profile profile = sim::profile_function(cur, trace);
+  const auto lib = hlslib::Library::dac98();
+  const auto alloc = generous_allocation(lib);
+  sched::SchedOptions so;
+  so.fuse_loops = false;
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), so);
+  const sched::ScheduleResult sr = scheduler.schedule(cur, profile);
+  const rtl::RtlPlan plan = rtl::build_rtl_plan(cur, sr.stg);
+  sim::Interpreter interp(fn);  // reference: the ORIGINAL behavior
+  for (const auto& stim : trace) {
+    const sim::Observation ref = interp.run(stim);
+    const rtl::RtlSimResult got = rtl::simulate_rtl(cur, plan, stim);
+    ASSERT_TRUE(got.completed);
+    ASSERT_EQ(got.obs, ref) << "seed " << GetParam() << "\n" << cur.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeeds,
+                         ::testing::Range<uint64_t>(1, 25));
+
+// Variant shapes: deeper nesting, no arrays (pure scalar dataflow), and
+// wide shallow expressions all stress different scheduler/RTL paths.
+class FuzzShapes : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzShapes, RtlMatchesInterpreterAcrossShapes) {
+  testgen::GenOptions gen;
+  switch (GetParam() % 3) {
+    case 0:
+      gen.max_depth = 4;
+      gen.max_stmts = 4;
+      break;
+    case 1:
+      gen.with_arrays = false;
+      gen.max_expr_depth = 5;
+      break;
+    case 2:
+      gen.max_stmts = 14;
+      gen.max_depth = 1;
+      gen.max_loop_trip = 10;
+      break;
+  }
+  const uint64_t seed = 1000 + static_cast<uint64_t>(GetParam());
+  const ir::Function fn = testgen::random_program(seed, gen);
+  const sim::Trace trace = fuzz_trace(fn, seed * 53 + 3);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  const auto lib = hlslib::Library::dac98();
+  const auto alloc = generous_allocation(lib);
+  sched::SchedOptions so;
+  so.fuse_loops = false;
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), so);
+  const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
+  sr.stg.validate();
+  const rtl::RtlPlan plan = rtl::build_rtl_plan(fn, sr.stg);
+  sim::Interpreter interp(fn);
+  for (const auto& stim : trace) {
+    const sim::Observation ref = interp.run(stim);
+    const rtl::RtlSimResult got = rtl::simulate_rtl(fn, plan, stim);
+    ASSERT_TRUE(got.completed) << "seed " << seed;
+    ASSERT_EQ(got.obs, ref) << "seed " << seed << "\n" << fn.str();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, FuzzShapes, ::testing::Range(0, 18));
+
+}  // namespace
+}  // namespace fact

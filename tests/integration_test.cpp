@@ -1,0 +1,150 @@
+// End-to-end integration tests: the Table 2 pipeline (M1 / Flamel / FACT)
+// on the actual benchmarks, checking the paper's qualitative claims hold:
+// FACT is never worse than either baseline and strictly better somewhere.
+
+#include <gtest/gtest.h>
+
+#include "opt/baselines.hpp"
+#include "opt/fact.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fact {
+namespace {
+
+struct MethodResults {
+  double m1 = 0.0;
+  double flamel = 0.0;
+  double fact = 0.0;
+};
+
+MethodResults run_all(const std::string& name) {
+  const workloads::Workload w = workloads::by_name(name);
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sched::SchedOptions so;
+  const power::PowerOptions po;
+
+  MethodResults r;
+  r.m1 = opt::run_m1(w.fn, lib, w.allocation, sel, w.trace, so, po, 7).avg_len;
+  r.flamel =
+      opt::run_flamel(w.fn, lib, w.allocation, sel, w.trace, so, po, 7).avg_len;
+  opt::FactOptions fo;
+  const auto xf = xform::TransformLibrary::standard();
+  r.fact = opt::run_fact(w.fn, lib, w.allocation, sel, w.trace, xf, fo)
+               .final_avg_len;
+  return r;
+}
+
+class Table2Ordering : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Table2Ordering, FactAtLeastMatchesBaselines) {
+  const MethodResults r = run_all(GetParam());
+  // Throughput = 1/length: FACT must not lose to either method.
+  EXPECT_LE(r.fact, r.m1 * 1.001) << "FACT worse than M1";
+  EXPECT_LE(r.fact, r.flamel * 1.001) << "FACT worse than Flamel";
+  // Flamel (transforms, schedule-blind) never loses to M1 (no transforms)
+  // on these benchmarks.
+  EXPECT_LE(r.flamel, r.m1 * 1.001);
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, Table2Ordering,
+                         ::testing::Values("GCD", "FIR", "TEST2", "SINTRAN",
+                                           "IGF", "PPS"));
+
+TEST(Table2, FactStrictlyBeatsM1OnMostBenchmarks) {
+  int strict_wins = 0;
+  double ratio_product = 1.0;
+  int n = 0;
+  for (const char* name : {"GCD", "FIR", "TEST2", "SINTRAN", "IGF", "PPS"}) {
+    const MethodResults r = run_all(name);
+    if (r.fact < r.m1 * 0.95) strict_wins++;
+    ratio_product *= r.m1 / r.fact;
+    n++;
+  }
+  EXPECT_GE(strict_wins, 5);
+  // Paper: 2.7x average improvement; our reproduction lands near 2x.
+  const double geomean = std::pow(ratio_product, 1.0 / n);
+  EXPECT_GT(geomean, 1.5);
+}
+
+TEST(Table2, ScheduleAwarenessBeatsFlamelSomewhere) {
+  // The paper's central claim: schedule-guided selection wins where static
+  // criteria are blind — Test2 (Example 2's regrouping) and PPS.
+  const MethodResults test2 = run_all("TEST2");
+  EXPECT_LT(test2.fact, test2.flamel * 0.9);
+  const MethodResults pps = run_all("PPS");
+  EXPECT_LT(pps.fact, pps.flamel * 0.9);
+}
+
+TEST(Table2, Test2MatchesExample2Arithmetic) {
+  // Example 2: the transformed schedule is ~1.25x faster than the
+  // untransformed one (408 vs 510 cycles in the paper's instance).
+  const MethodResults r = run_all("TEST2");
+  const double speedup = r.m1 / r.fact;
+  EXPECT_GT(speedup, 1.1);
+  EXPECT_LT(speedup, 1.5);
+}
+
+TEST(PowerMode, SavesPowerAtIsoThroughputAcrossBenchmarks) {
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  double total_saving = 0.0;
+  int n = 0;
+  for (const char* name : {"GCD", "PPS", "SINTRAN"}) {
+    const workloads::Workload w = workloads::by_name(name);
+    opt::FactOptions fo;
+    fo.objective = opt::Objective::Power;
+    const auto xf = xform::TransformLibrary::standard();
+    const opt::FactResult r =
+        opt::run_fact(w.fn, lib, w.allocation, sel, w.trace, xf, fo);
+    EXPECT_LE(r.final_power.power, r.initial_power.power * 1.0001) << name;
+    EXPECT_LE(r.final_power.vdd, 5.0) << name;
+    total_saving += 1.0 - r.final_power.power / r.initial_power.power;
+    n++;
+  }
+  // Paper: 62% average saving; these three average well above 40%.
+  EXPECT_GT(total_saving / n, 0.4);
+}
+
+TEST(Integration, OptimizedBehaviorsStayEquivalent) {
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  for (const char* name : {"GCD", "SINTRAN", "IGF"}) {
+    const workloads::Workload w = workloads::by_name(name);
+    opt::FactOptions fo;
+    const auto xf = xform::TransformLibrary::standard();
+    const opt::FactResult r =
+        opt::run_fact(w.fn, lib, w.allocation, sel, w.trace, xf, fo);
+    const sim::Trace fresh = sim::generate_trace(w.fn, w.trace, 4242);
+    EXPECT_TRUE(sim::equivalent_on_trace(w.fn, r.optimized, fresh)) << name;
+  }
+}
+
+TEST(Integration, Test1PowerWalkthroughShape) {
+  // Example 1's pipeline on TEST1 with the Table 1 library: schedule,
+  // estimate, and scale. The exact 119.11-cycle figure belongs to the
+  // authors' scheduler; ours must produce the same *structure*: a
+  // dominant loop, a ~0.98 closing probability, and a scaled voltage
+  // strictly between Vt and 5V once the behavior is transformed.
+  const workloads::Workload w = workloads::make_test1();
+  const auto lib = hlslib::Library::table1();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  sched::Scheduler scheduler(lib, w.allocation, sel, {});
+  const sched::ScheduleResult sr = scheduler.schedule(w.fn, profile);
+  const double len = stg::average_schedule_length(sr.stg);
+  EXPECT_GT(len, 40.0);   // ~50 iterations, at least 1 cycle each
+  EXPECT_LT(len, 400.0);
+  const power::PowerEstimate est = power::estimate_power(sr.stg, lib, {});
+  EXPECT_GT(est.energy_coeff_total, 0.0);
+  EXPECT_GT(est.ops_per_exec.count("incr1"), 0u);
+  EXPECT_GT(est.ops_per_exec.count("w_mult1"), 0u);
+  // Vdd scaling against a 27% slower base case lands near Example 1's 4.29V.
+  const power::PowerEstimate scaled =
+      power::estimate_power_scaled(sr.stg, lib, len * 151.30 / 119.11, {});
+  EXPECT_NEAR(scaled.vdd, 4.29, 0.01);
+}
+
+}  // namespace
+}  // namespace fact

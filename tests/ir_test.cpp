@@ -1,0 +1,239 @@
+#include <gtest/gtest.h>
+
+#include "ir/edit.hpp"
+#include "ir/expr.hpp"
+#include "ir/function.hpp"
+#include "test_util.hpp"
+#include "util/error.hpp"
+
+namespace fact::ir {
+namespace {
+
+ExprPtr v(const std::string& n) { return Expr::var(n); }
+ExprPtr c(int64_t x) { return Expr::constant(x); }
+
+TEST(Expr, FactoriesAndAccessors) {
+  ExprPtr add = Expr::binary(Op::Add, v("a"), c(3));
+  EXPECT_EQ(add->op(), Op::Add);
+  EXPECT_EQ(add->num_args(), 2u);
+  EXPECT_EQ(add->arg(0)->name(), "a");
+  EXPECT_EQ(add->arg(1)->value(), 3);
+  EXPECT_EQ(add->str(), "(a + 3)");
+}
+
+TEST(Expr, ArrayReadAndSelectPrint) {
+  ExprPtr e = Expr::select(Expr::binary(Op::Lt, v("i"), c(4)),
+                           Expr::array_read("x", v("i")), c(0));
+  EXPECT_EQ(e->str(), "((i < 4) ? x[i] : 0)");
+}
+
+TEST(Expr, StructuralEquality) {
+  ExprPtr a = Expr::binary(Op::Mul, v("x"), Expr::binary(Op::Add, v("y"), c(1)));
+  ExprPtr b = Expr::binary(Op::Mul, v("x"), Expr::binary(Op::Add, v("y"), c(1)));
+  ExprPtr d = Expr::binary(Op::Mul, v("x"), Expr::binary(Op::Add, v("y"), c(2)));
+  EXPECT_TRUE(Expr::equal(a, b));
+  EXPECT_FALSE(Expr::equal(a, d));
+  EXPECT_EQ(a->hash(), b->hash());
+}
+
+TEST(Expr, TreeSizeCountsNodes) {
+  ExprPtr e = Expr::binary(Op::Add, Expr::binary(Op::Mul, v("a"), v("b")), c(1));
+  EXPECT_EQ(e->tree_size(), 5u);
+}
+
+TEST(Expr, SubexprAtAndReplaceAt) {
+  ExprPtr e = Expr::binary(Op::Sub, Expr::binary(Op::Add, v("a"), v("b")), v("z"));
+  EXPECT_EQ(subexpr_at(e, {0, 1})->name(), "b");
+  EXPECT_EQ(subexpr_at(e, {})->op(), Op::Sub);
+  EXPECT_EQ(subexpr_at(e, {5}), nullptr);
+  ExprPtr r = replace_at(e, {0, 1}, c(9));
+  EXPECT_EQ(r->str(), "((a + 9) - z)");
+  // Original unchanged (immutability).
+  EXPECT_EQ(e->str(), "((a + b) - z)");
+  EXPECT_THROW(replace_at(e, {7}, c(0)), Error);
+}
+
+TEST(Expr, OpPredicates) {
+  EXPECT_TRUE(is_commutative(Op::Add));
+  EXPECT_TRUE(is_commutative(Op::Mul));
+  EXPECT_FALSE(is_commutative(Op::Sub));
+  EXPECT_TRUE(is_associative(Op::Add));
+  EXPECT_FALSE(is_associative(Op::Sub));
+  EXPECT_TRUE(is_comparison(Op::Le));
+  EXPECT_FALSE(is_comparison(Op::Add));
+  EXPECT_TRUE(is_boolean(Op::And));
+  EXPECT_EQ(op_arity(Op::Select), 3);
+  EXPECT_EQ(op_arity(Op::Var), 0);
+  EXPECT_EQ(op_arity(Op::BitNot), 1);
+}
+
+TEST(Stmt, CloneIsDeepAndPreservesIds) {
+  StmtPtr s = Stmt::if_stmt(
+      Expr::binary(Op::Gt, v("a"), v("b")),
+      make_vector(Stmt::assign("a", Expr::binary(Op::Sub, v("a"), v("b")))),
+      make_vector(Stmt::assign("b", Expr::binary(Op::Sub, v("b"), v("a")))));
+  s->id = 5;
+  s->then_stmts[0]->id = 6;
+  StmtPtr copy = s->clone();
+  EXPECT_EQ(copy->id, 5);
+  EXPECT_EQ(copy->then_stmts[0]->id, 6);
+  // Mutating the clone leaves the original intact.
+  copy->then_stmts[0]->target = "zzz";
+  EXPECT_EQ(s->then_stmts[0]->target, "a");
+}
+
+TEST(Stmt, PrintingRoundTripShape) {
+  StmtPtr s = Stmt::while_stmt(
+      Expr::binary(Op::Ne, v("a"), v("b")),
+      make_vector(Stmt::store("x", v("i"), v("a"))));
+  const std::string text = s->str();
+  EXPECT_NE(text.find("while ((a != b))"), std::string::npos);
+  EXPECT_NE(text.find("x[i] = a;"), std::string::npos);
+}
+
+TEST(Function, RenumberAssignsPreorderIds) {
+  Function f("t");
+  f.set_body(Stmt::block(make_vector(
+      Stmt::assign("a", c(0)),
+      Stmt::while_stmt(Expr::binary(Op::Lt, v("a"), c(3)),
+                       make_vector(Stmt::assign("a", Expr::binary(Op::Add, v("a"), c(1))))))));
+  // Body block is id 0; children follow preorder.
+  EXPECT_EQ(f.body()->id, 0);
+  EXPECT_EQ(f.body()->stmts[0]->id, 1);
+  EXPECT_EQ(f.body()->stmts[1]->id, 2);
+  EXPECT_EQ(f.body()->stmts[1]->then_stmts[0]->id, 3);
+  EXPECT_EQ(f.stmt_count(), 4u);
+  EXPECT_EQ(f.max_stmt_id(), 3);
+}
+
+TEST(Function, FindStmtAndClone) {
+  Function f("t");
+  f.set_body(Stmt::block(make_vector(Stmt::assign("a", c(1)))));
+  const Stmt* s = f.find_stmt(1);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->target, "a");
+  EXPECT_EQ(f.find_stmt(99), nullptr);
+  Function g = f.clone();
+  EXPECT_NE(g.find_stmt(1), nullptr);
+  EXPECT_EQ(g.str(), f.str());
+}
+
+TEST(Function, AssignFreshIdsKeepsExisting) {
+  Function f("t");
+  f.set_body(Stmt::block(make_vector(Stmt::assign("a", c(1)))));
+  Stmt* body = f.body();
+  body->stmts.push_back(Stmt::assign("b", c(2)));  // id -1
+  f.assign_fresh_ids();
+  EXPECT_EQ(body->stmts[0]->id, 1);  // unchanged
+  EXPECT_EQ(body->stmts[1]->id, 2);  // fresh, after max
+  const auto ids = f.stmt_ids();
+  EXPECT_EQ(ids.size(), 3u);
+}
+
+TEST(Function, ValidateRejectsBadPrograms) {
+  {
+    Function f("t");
+    f.set_body(Stmt::block(make_vector(Stmt::store("nope", c(0), c(1)))));
+    EXPECT_THROW(f.validate(), Error);
+  }
+  {
+    Function f("t");
+    f.add_array({"x", 4, false});
+    f.set_body(Stmt::block(make_vector(Stmt::assign("x", c(1)))));
+    EXPECT_THROW(f.validate(), Error);  // assignment to array name
+  }
+  {
+    Function f("t");
+    f.add_array({"x", 0, false});
+    f.set_body(Stmt::block({}));
+    EXPECT_THROW(f.validate(), Error);  // zero-size array
+  }
+  {
+    Function f("t");
+    f.set_body(Stmt::block(make_vector(
+        Stmt::while_stmt(Expr::binary(Op::Lt, v("a"), c(1)), {}))));
+    EXPECT_THROW(f.validate(), Error);  // empty loop body
+  }
+}
+
+TEST(Edit, ReplaceStmtSplices) {
+  Function f("t");
+  f.set_body(Stmt::block(make_vector(Stmt::assign("a", c(1)),
+                                     Stmt::assign("b", c(2)))));
+  const int bid = f.body()->stmts[1]->id;
+  std::vector<StmtPtr> repl;
+  repl.push_back(Stmt::assign("c", c(3)));
+  repl.push_back(Stmt::assign("d", c(4)));
+  EXPECT_TRUE(replace_stmt(f, bid, std::move(repl)));
+  EXPECT_EQ(f.body()->stmts.size(), 3u);
+  EXPECT_EQ(f.body()->stmts[1]->target, "c");
+  EXPECT_EQ(f.body()->stmts[2]->target, "d");
+  EXPECT_FALSE(replace_stmt(f, 999, {}));
+}
+
+TEST(Edit, InsertBeforeNested) {
+  Function f("t");
+  f.set_body(Stmt::block(make_vector(Stmt::while_stmt(
+      Expr::binary(Op::Lt, v("i"), c(3)),
+      make_vector(Stmt::assign("i", Expr::binary(Op::Add, v("i"), c(1))))))));
+  const int inner = f.body()->stmts[0]->then_stmts[0]->id;
+  std::vector<StmtPtr> pre;
+  pre.push_back(Stmt::assign("t", c(1)));
+  EXPECT_TRUE(insert_before(f, inner, std::move(pre)));
+  EXPECT_EQ(f.body()->stmts[0]->then_stmts.size(), 2u);
+  EXPECT_EQ(f.body()->stmts[0]->then_stmts[0]->target, "t");
+}
+
+TEST(Edit, SubstituteReplacesVariables) {
+  ExprPtr e = Expr::binary(Op::Add, v("a"), Expr::binary(Op::Mul, v("b"), v("a")));
+  const std::map<std::string, ExprPtr> sub{{"a", c(7)}};
+  EXPECT_EQ(substitute(e, sub)->str(), "(7 + (b * 7))");
+  // No-op substitution returns the same nodes (structural sharing).
+  const std::map<std::string, ExprPtr> none{{"zz", c(1)}};
+  EXPECT_EQ(substitute(e, none).get(), e.get());
+}
+
+TEST(Edit, SymbolicAssignsComposesSequentially) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(Stmt::assign("t", Expr::binary(Op::Add, v("a"), c(7))));
+  stmts.push_back(Stmt::assign("a", Expr::binary(Op::Mul, c(13), v("t"))));
+  const auto env = symbolic_assigns(stmts);
+  EXPECT_EQ(env.at("a")->str(), "(13 * (a + 7))");
+  EXPECT_EQ(env.at("t")->str(), "(a + 7)");
+}
+
+TEST(Edit, SymbolicAssignsRejectsControlFlow) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(Stmt::while_stmt(v("a"), make_vector(Stmt::assign("a", c(0)))));
+  EXPECT_THROW(symbolic_assigns(stmts), Error);
+}
+
+TEST(Edit, FreshNameAvoidsCollisions) {
+  Function f("t");
+  f.add_param("t_x0");
+  f.set_body(Stmt::block(make_vector(Stmt::assign("t_x1", c(1)))));
+  const std::string n = fresh_name(f, "x");
+  EXPECT_NE(n, "t_x0");
+  EXPECT_NE(n, "t_x1");
+}
+
+TEST(Edit, WrittenVarsRecursesAndDedups) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(Stmt::assign("a", c(1)));
+  stmts.push_back(Stmt::if_stmt(v("a"), make_vector(Stmt::assign("b", c(2)), Stmt::assign("a", c(3)))));
+  const auto w = written_vars(stmts);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(Edit, ClearIdsRecurses) {
+  std::vector<StmtPtr> stmts;
+  stmts.push_back(Stmt::if_stmt(v("a"), make_vector(Stmt::assign("b", c(2)))));
+  stmts[0]->id = 3;
+  stmts[0]->then_stmts[0]->id = 4;
+  clear_ids(stmts);
+  EXPECT_EQ(stmts[0]->id, -1);
+  EXPECT_EQ(stmts[0]->then_stmts[0]->id, -1);
+}
+
+}  // namespace
+}  // namespace fact::ir

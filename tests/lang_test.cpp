@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "lang/lexer.hpp"
+#include "lang/parser.hpp"
+#include "util/error.hpp"
+
+namespace fact::lang {
+namespace {
+
+TEST(Lexer, TokenizesOperatorsAndLiterals) {
+  const auto toks = tokenize("a <= 42 >> b != ++");
+  ASSERT_EQ(toks.size(), 8u);  // incl. End
+  EXPECT_EQ(toks[0].kind, Tok::Ident);
+  EXPECT_EQ(toks[0].text, "a");
+  EXPECT_EQ(toks[1].kind, Tok::Le);
+  EXPECT_EQ(toks[2].kind, Tok::Int);
+  EXPECT_EQ(toks[2].value, 42);
+  EXPECT_EQ(toks[3].kind, Tok::Shr);
+  EXPECT_EQ(toks[5].kind, Tok::Ne);
+  EXPECT_EQ(toks[6].kind, Tok::PlusPlus);
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  const auto toks = tokenize("a\n  b");
+  EXPECT_EQ(toks[0].line, 1);
+  EXPECT_EQ(toks[1].line, 2);
+  EXPECT_EQ(toks[1].col, 3);
+}
+
+TEST(Lexer, SkipsComments) {
+  const auto toks = tokenize("a // line\n/* block\nstill */ b");
+  ASSERT_EQ(toks.size(), 3u);
+  EXPECT_EQ(toks[1].text, "b");
+}
+
+TEST(Lexer, RejectsBadInput) {
+  EXPECT_THROW(tokenize("a $ b"), ParseError);
+  EXPECT_THROW(tokenize("/* unterminated"), ParseError);
+}
+
+TEST(Parser, ParsesKitchenSink) {
+  const ir::Function fn = parse_function(R"(
+F(int a, int b) {
+  input int xs[8];
+  int ys[4];
+  int i = 0;
+  int t = u = 5;
+  while (i < 8) {
+    if (xs[i] > a && !(b == 0)) {
+      ys[i >> 1] = xs[i] * 2 - t;
+    } else if (a <= b) {
+      t = (a + b) * (a - b);
+    }
+    i++;
+  }
+  for (t = 0; t < 4; t = t + 1) { u = u + ys[t]; }
+  output u;
+}
+)");
+  EXPECT_EQ(fn.name(), "F");
+  ASSERT_EQ(fn.params().size(), 2u);
+  ASSERT_EQ(fn.arrays().size(), 2u);
+  EXPECT_TRUE(fn.arrays()[0].is_input);
+  EXPECT_FALSE(fn.arrays()[1].is_input);
+  ASSERT_EQ(fn.outputs().size(), 1u);
+  EXPECT_GT(fn.stmt_count(), 8u);
+}
+
+TEST(Parser, ForLowersToWhile) {
+  const ir::Function fn = parse_function(
+      "F() { int s = 0; for (s = 0; s < 3; s++) { s = s + 1; } }");
+  bool has_while = false;
+  fn.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::While) has_while = true;
+  });
+  EXPECT_TRUE(has_while);
+}
+
+TEST(Parser, IncrementSugar) {
+  const ir::Function fn = parse_function("F() { int i = 0; i++; }");
+  const ir::Stmt* last = fn.body()->stmts.back().get();
+  EXPECT_EQ(last->value->str(), "(i + 1)");
+}
+
+TEST(Parser, TernaryBecomesSelect) {
+  const ir::Function fn = parse_function("F(int a) { int x = a > 0 ? a : 0 - a; }");
+  const ir::Stmt* s = fn.body()->stmts.back().get();
+  EXPECT_EQ(s->value->op(), ir::Op::Select);
+}
+
+TEST(Parser, PrecedenceMulOverAdd) {
+  const ir::Function fn = parse_function("F(int a, int b) { int x = a + b * 3; }");
+  EXPECT_EQ(fn.body()->stmts[0]->value->str(), "(a + (b * 3))");
+}
+
+TEST(Parser, UnaryOperators) {
+  const ir::Function fn =
+      parse_function("F(int a) { int x = ~a; int y = -a; int z = !a; }");
+  EXPECT_EQ(fn.body()->stmts[0]->value->op(), ir::Op::BitNot);
+  EXPECT_EQ(fn.body()->stmts[1]->value->str(), "(0 - a)");
+  EXPECT_EQ(fn.body()->stmts[2]->value->op(), ir::Op::Not);
+}
+
+TEST(Parser, DeclarationInsideBlock) {
+  const ir::Function fn = parse_function(
+      "F(int a) { while (a > 0) { int t = a - 1; a = t; } }");
+  EXPECT_GE(fn.stmt_count(), 3u);
+}
+
+TEST(Parser, ErrorsCarryPosition) {
+  try {
+    parse_function("F() { int x = ; }");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_GE(e.line(), 1);
+  }
+}
+
+TEST(Parser, RejectsMalformedPrograms) {
+  EXPECT_THROW(parse_function("F() { x = 1 }"), ParseError);       // missing ;
+  EXPECT_THROW(parse_function("F( { }"), ParseError);              // bad params
+  EXPECT_THROW(parse_function("F() { if a { } }"), ParseError);    // missing (
+  EXPECT_THROW(parse_function("F() { int a[0]; }"), ParseError);   // size 0
+  EXPECT_THROW(parse_function("F() { y[0] = 1; }"), Error);        // undeclared
+}
+
+TEST(Parser, TrailingGarbageRejected) {
+  EXPECT_THROW(parse_function("F() { } G() { }"), ParseError);
+}
+
+}  // namespace
+}  // namespace fact::lang

@@ -1,0 +1,295 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "opt/baselines.hpp"
+#include "opt/fact.hpp"
+#include "opt/partition.hpp"
+
+namespace fact::opt {
+namespace {
+
+ir::Function parse(const std::string& src) { return lang::parse_function(src); }
+
+struct Harness {
+  hlslib::Library lib = hlslib::Library::dac98();
+  hlslib::FuSelection sel = hlslib::FuSelection::defaults(lib);
+  hlslib::Allocation alloc;
+  sched::SchedOptions sched_opts;
+  power::PowerOptions power_opts;
+
+  Harness() {
+    alloc.counts = {{"a1", 2}, {"sb1", 2}, {"mt1", 1}, {"cp1", 1},
+                    {"e1", 1}, {"i1", 1},  {"n1", 1},  {"s1", 1}};
+  }
+};
+
+// ---- partitioning ------------------------------------------------------
+
+TEST(Partition, HotLoopFormsOneBlock) {
+  // S0 -> S1(loop, p=0.95) -> S0: the hot self-loop at S1 dominates.
+  stg::Stg stg;
+  const int s0 = stg.add_state("S0");
+  const int s1 = stg.add_state("S1");
+  {
+    fact::stg::OpInstance op_inst;
+    op_inst.fu_type = "a1";
+    op_inst.op = ir::Op::Add;
+    op_inst.stmt_id = 42;
+    op_inst.iteration = 0;
+    op_inst.label = "+";
+    stg.state(s1).ops.push_back(std::move(op_inst));
+  }
+  stg.add_edge(s0, s1, 1.0);
+  stg.add_edge(s1, s1, 0.95, "loop");
+  stg.add_edge(s1, s0, 0.05, "", true);
+  stg.set_entry(s0);
+  stg.validate();
+
+  const auto blocks = partition_stg(stg, 0.5);
+  ASSERT_GE(blocks.size(), 1u);
+  // The hottest block contains S1 and carries statement 42.
+  EXPECT_TRUE(blocks[0].stmt_ids.count(42));
+  EXPECT_GT(blocks[0].weight, 0.5);
+}
+
+TEST(Partition, ThresholdControlsBlockGrowth) {
+  // A chain with one rare side path: at high threshold only hot edges
+  // group; at threshold 0 everything merges into one block.
+  stg::Stg stg;
+  const int s0 = stg.add_state("");
+  const int s1 = stg.add_state("");
+  const int rare = stg.add_state("");
+  stg.add_edge(s0, s1, 0.99);
+  stg.add_edge(s0, rare, 0.01);
+  stg.add_edge(rare, s1, 1.0);
+  stg.add_edge(s1, s0, 1.0, "", true);
+  stg.set_entry(s0);
+  stg.validate();
+
+  const auto tight = partition_stg(stg, 0.5);
+  for (const auto& b : tight)
+    for (int s : b.states) EXPECT_NE(s, rare);
+  const auto loose = partition_stg(stg, 0.0);
+  ASSERT_EQ(loose.size(), 1u);
+  EXPECT_EQ(loose[0].states.size(), 3u);
+}
+
+TEST(Partition, BlocksAreDisjointAndSorted) {
+  // Two independent hot loops joined by rare transitions.
+  stg::Stg stg;
+  const int a = stg.add_state("");
+  const int b = stg.add_state("");
+  stg.add_edge(a, a, 0.9, "loop");
+  stg.add_edge(a, b, 0.1);
+  stg.add_edge(b, b, 0.8, "loop");
+  stg.add_edge(b, a, 0.2, "", true);
+  stg.set_entry(a);
+  stg.validate();
+  // pi(a) = 2/3: self-loop frequencies are 0.6 and 0.267, the cross edges
+  // 0.067; a 0.3 threshold keeps both self-loops but not the cross edges.
+  const auto blocks = partition_stg(stg, 0.3);
+  ASSERT_EQ(blocks.size(), 2u);
+  EXPECT_GE(blocks[0].weight, blocks[1].weight);
+  std::set<int> seen;
+  for (const auto& blk : blocks)
+    for (int s : blk.states) EXPECT_TRUE(seen.insert(s).second);
+}
+
+// ---- engine ------------------------------------------------------------
+
+TEST(Engine, ImprovesThroughputOnGcd) {
+  Harness h;
+  const auto fn = parse(R"(
+GCD(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  output a;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["a"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 60, 0};
+  tc.params["b"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 60, 0};
+  const sim::Trace trace = sim::generate_trace(fn, tc, 5);
+
+  const auto xforms = xform::TransformLibrary::standard();
+  TransformEngine engine(h.lib, h.alloc, h.sel, h.sched_opts, h.power_opts,
+                         xforms, {});
+  const Evaluation base = engine.evaluate(fn, trace, Objective::Throughput, 0);
+  const EngineResult r =
+      engine.optimize(fn, trace, Objective::Throughput, {}, base.avg_len);
+  EXPECT_LT(r.best_eval.avg_len, base.avg_len * 0.6);
+  EXPECT_FALSE(r.applied.empty());
+  EXPECT_EQ(r.rejected_nonequivalent, 0);
+  EXPECT_GT(r.evaluations, 1);
+  // The winner is functionally equivalent to the input.
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, r.best, trace));
+}
+
+TEST(Engine, DeterministicForSeed) {
+  Harness h;
+  const auto fn = parse(
+      "F(int a, int b, int c) { int x = a * b + a * c; int y = x + b + c + a; output y; }");
+  const sim::Trace trace = sim::generate_trace(fn, {}, 5);
+  const auto xforms = xform::TransformLibrary::standard();
+  EngineOptions opts;
+  opts.seed = 33;
+  TransformEngine engine(h.lib, h.alloc, h.sel, h.sched_opts, h.power_opts,
+                         xforms, opts);
+  const EngineResult r1 =
+      engine.optimize(fn, trace, Objective::Throughput, {}, 100.0);
+  const EngineResult r2 =
+      engine.optimize(fn, trace, Objective::Throughput, {}, 100.0);
+  EXPECT_EQ(r1.best.str(), r2.best.str());
+  EXPECT_EQ(r1.applied, r2.applied);
+  EXPECT_EQ(r1.evaluations, r2.evaluations);
+}
+
+TEST(Engine, RegionRestrictsRewrites) {
+  Harness h;
+  // Two identical statements; restrict the region to the first one.
+  const auto fn = parse(
+      "F(int a, int b) { int x = (a + b) + (a + b) + a; int y = (a + b) + (a + b) + b; output x; output y; }");
+  const sim::Trace trace = sim::generate_trace(fn, {}, 5);
+  const auto xforms = xform::TransformLibrary::standard();
+  TransformEngine engine(h.lib, h.alloc, h.sel, h.sched_opts, h.power_opts,
+                         xforms, {});
+  int x_id = -1;
+  fn.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.target == "x") x_id = s.id;
+  });
+  const EngineResult r = engine.optimize(fn, trace, Objective::Throughput,
+                                         {x_id}, 100.0);
+  // y's statement is untouched in the winner.
+  const ir::Stmt* y = nullptr;
+  r.best.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.target == "y") y = &s;
+  });
+  ASSERT_NE(y, nullptr);
+  EXPECT_EQ(y->value->str(), "(((a + b) + (a + b)) + b)");
+}
+
+TEST(Engine, PowerObjectiveRespectsIsoThroughput) {
+  Harness h;
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  int s = 0;
+  while (i < n) { s = s + i * 3; i = i + 1; }
+  output s;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 8, 24, 0};
+  const sim::Trace trace = sim::generate_trace(fn, tc, 5);
+  const auto xforms = xform::TransformLibrary::standard();
+  TransformEngine engine(h.lib, h.alloc, h.sel, h.sched_opts, h.power_opts,
+                         xforms, {});
+  const Evaluation base = engine.evaluate(fn, trace, Objective::Throughput, 0);
+  const EngineResult r =
+      engine.optimize(fn, trace, Objective::Power, {}, base.avg_len);
+  // Whatever wins must not be slower than the baseline.
+  EXPECT_LE(r.best_eval.avg_len, base.avg_len * 1.01);
+  EXPECT_LE(r.best_eval.vdd, 5.0);
+}
+
+// ---- baselines ---------------------------------------------------------
+
+TEST(Baselines, M1AppliesNoTransforms) {
+  Harness h;
+  const auto fn = parse("F(int a, int b) { int x = a * b + a; output x; }");
+  const BaselineResult r =
+      run_m1(fn, h.lib, h.alloc, h.sel, {}, h.sched_opts, h.power_opts, 7);
+  EXPECT_TRUE(r.applied.empty());
+  EXPECT_EQ(r.fn.str(), fn.str());
+  EXPECT_GT(r.avg_len, 0.0);
+}
+
+TEST(Baselines, FlamelPreservesSemanticsAndCompacts) {
+  Harness h;
+  const auto fn = parse(R"(
+F(int a, int b) {
+  int x = 0;
+  if (a > b) { x = a * 2 + 3; } else { x = b * 2 + 3; }
+  int y = 2 + 3;
+  output x; output y;
+}
+)");
+  const BaselineResult r = run_flamel(fn, h.lib, h.alloc, h.sel, {},
+                                      h.sched_opts, h.power_opts, 7);
+  // Speculation removed the if, constant folding removed 2+3.
+  bool has_if = false;
+  r.fn.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::If) has_if = true;
+  });
+  EXPECT_FALSE(has_if);
+  EXPECT_FALSE(r.applied.empty());
+  const sim::Trace trace = sim::generate_trace(fn, {}, 11);
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, r.fn, trace));
+}
+
+TEST(Baselines, FlamelIsScheduleBlindOnExample2) {
+  Harness h;
+  // The Example 2 regrouping has identical static cost, so Flamel must
+  // not apply it: the expression keeps its authored adder-heavy form.
+  const auto fn = parse(
+      "F(int y1, int y2, int y3, int y4) { int x = (y1 + y2) - (y3 + y4); output x; }");
+  const BaselineResult r = run_flamel(fn, h.lib, h.alloc, h.sel, {},
+                                      h.sched_opts, h.power_opts, 7);
+  const ir::Stmt* x = nullptr;
+  r.fn.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::Assign && s.target == "x") x = &s;
+  });
+  ASSERT_NE(x, nullptr);
+  EXPECT_EQ(x->value->str(), "((y1 + y2) - (y3 + y4))");
+}
+
+// ---- end-to-end driver --------------------------------------------------
+
+TEST(RunFact, ImprovesAndLogsGcd) {
+  Harness h;
+  const auto fn = parse(R"(
+GCD(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  output a;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["a"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 60, 0};
+  tc.params["b"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 60, 0};
+  FactOptions opts;
+  const auto xforms = xform::TransformLibrary::standard();
+  const FactResult r =
+      run_fact(fn, h.lib, h.alloc, h.sel, tc, xforms, opts);
+  EXPECT_LT(r.final_avg_len, r.initial_avg_len);
+  EXPECT_FALSE(r.applied.empty());
+  EXPECT_FALSE(r.log.empty());
+  EXPECT_GT(r.evaluations, 0);
+  r.schedule.stg.validate();
+}
+
+TEST(RunFact, PowerModeScalesVdd) {
+  Harness h;
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  int s = 0;
+  while (i < n) { s = s + i * 3 + i * 5; i = i + 1; }
+  output s;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 8, 24, 0};
+  FactOptions opts;
+  opts.objective = Objective::Power;
+  const auto xforms = xform::TransformLibrary::standard();
+  const FactResult r =
+      run_fact(fn, h.lib, h.alloc, h.sel, tc, xforms, opts);
+  EXPECT_LE(r.final_power.vdd, 5.0);
+  EXPECT_LE(r.final_power.power, r.initial_power.power * 1.0001);
+}
+
+}  // namespace
+}  // namespace fact::opt

@@ -1,0 +1,229 @@
+// Structural tests of the software-pipeline STG shape: guard, prologue,
+// kernel ring, epilogue drain — and of the ring annotations (ring ids,
+// lags, iteration tags) the RTL backend depends on.
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+
+namespace fact::sched {
+namespace {
+
+ir::Function parse(const std::string& src) { return lang::parse_function(src); }
+
+struct Harness {
+  hlslib::Library lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  SchedOptions opts;
+
+  Harness() {
+    alloc.counts = {{"a1", 2}, {"sb1", 2}, {"mt1", 1}, {"cp1", 2},
+                    {"e1", 1}, {"i1", 1},  {"n1", 1},  {"s1", 1}};
+  }
+
+  ScheduleResult schedule(const ir::Function& fn,
+                          const sim::TraceConfig& tc = {}) const {
+    const sim::Trace trace = sim::generate_trace(fn, tc, 7);
+    const sim::Profile profile = sim::profile_function(fn, trace);
+    Scheduler s(lib, alloc, hlslib::FuSelection::defaults(lib), opts);
+    return s.schedule(fn, profile);
+  }
+};
+
+TEST(Pipeline, RingStatesShareAnId) {
+  Harness h;
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  int s = 0;
+  while (i < n) { s = s + i * 3; i = i + 1; }
+  output s;
+}
+)");
+  const ScheduleResult r = h.schedule(fn);
+  ASSERT_TRUE(r.loops[0].pipelined);
+  std::set<int> rings;
+  size_t ring_states = 0;
+  for (const auto& st : r.stg.states()) {
+    if (st.ring_id >= 0) {
+      rings.insert(st.ring_id);
+      ring_states++;
+    }
+  }
+  EXPECT_EQ(rings.size(), 1u);
+  EXPECT_EQ(ring_states, static_cast<size_t>(r.loops[0].ii));
+}
+
+TEST(Pipeline, GuardSkipsZeroIterationLoops) {
+  // n = 0: the loop body must never execute; the guard state makes the
+  // schedule exact (the kernel is entered only after the test passes).
+  Harness h;
+  const auto fn = parse(R"(
+F(int n) {
+  int s = 5;
+  int i = 0;
+  while (i < n) { s = s * 2; i = i + 1; }
+  output s;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Constant, 0, 0, 0, 0, 0, 0};
+  const ScheduleResult r = h.schedule(fn, tc);
+  // The guard's exit edge must bypass every ring state: from the state
+  // evaluating the test there is a path to the boundary that never enters
+  // a ring.
+  r.stg.validate();
+  ASSERT_TRUE(r.loops[0].pipelined);
+  // Functional check happens in the RTL equivalence suite; structurally,
+  // at least one non-ring state must have an edge into the ring AND an
+  // edge elsewhere (the guard branch).
+  bool guard_found = false;
+  for (const auto& st : r.stg.states()) {
+    if (st.ring_id >= 0 || st.out_edges.size() < 2) continue;
+    bool to_ring = false, to_linear = false;
+    for (int ei : st.out_edges) {
+      const int to = r.stg.edge(ei).to;
+      (r.stg.state(to).ring_id >= 0 ? to_ring : to_linear) = true;
+    }
+    if (to_ring && to_linear) guard_found = true;
+  }
+  EXPECT_TRUE(guard_found);
+}
+
+TEST(Pipeline, PrologueExecutesOneFullIteration) {
+  Harness h;
+  const auto fn = parse(R"(
+F(int n) {
+  input int x[16];
+  int y[16];
+  int i = 0;
+  while (i < n) { y[i] = x[i] * 3; i = i + 1; }
+  output i;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 4, 12, 0};
+  const ScheduleResult r = h.schedule(fn, tc);
+  ASSERT_TRUE(r.loops[0].pipelined);
+  const LoopInfo& loop = r.loops[0];
+  // Prologue states = body_csteps linear states carrying iteration-0 ops;
+  // count non-ring states containing the loop's multiply.
+  size_t prologue_mults = 0, ring_mults = 0;
+  for (const auto& st : r.stg.states()) {
+    for (const auto& op : st.ops) {
+      if (op.op != ir::Op::Mul) continue;
+      (st.ring_id >= 0 ? ring_mults : prologue_mults)++;
+    }
+  }
+  EXPECT_EQ(ring_mults, 1u);      // once per traversal
+  EXPECT_GE(prologue_mults, 1u);  // iteration 0 (+ drain replicas)
+  EXPECT_GE(loop.body_csteps, loop.ii);
+}
+
+TEST(Pipeline, LagsAreConsistentAnnotations) {
+  Harness h;
+  // Memory-port pressure forces II=2 and a cross-slot dependence chain.
+  const auto fn = parse(R"(
+F(int g) {
+  input int x[16];
+  int y[16];
+  int i = 0;
+  while (i < 15) {
+    y[i] = x[i] + x[i + 1];
+    i = i + 1;
+  }
+  output i;
+}
+)");
+  const ScheduleResult r = h.schedule(fn);
+  ASSERT_TRUE(r.loops[0].pipelined);
+  EXPECT_GE(r.loops[0].ii, 2);
+  bool lagged_op = false;
+  for (const auto& st : r.stg.states())
+    for (const auto& op : st.ops)
+      if (st.ring_id >= 0 && op.lag > 0) lagged_op = true;
+  // Either iterations genuinely overlap (some op lags behind the front),
+  // or the representability checks pushed II to the full body length and
+  // no overlap remains.
+  EXPECT_TRUE(lagged_op || r.loops[0].ii >= r.loops[0].body_csteps);
+}
+
+TEST(Pipeline, IterationTagsMarkOverlap) {
+  Harness h;
+  const auto fn = parse(R"(
+F(int n) {
+  input int x[16];
+  int y[16];
+  int i = 0;
+  while (i < n) { y[i] = x[i] * 3 + 1; i = i + 1; }
+  output i;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 4, 12, 0};
+  const ScheduleResult r = h.schedule(fn, tc);
+  ASSERT_TRUE(r.loops[0].pipelined);
+  if (r.loops[0].body_csteps > r.loops[0].ii) {
+    // Overlapped schedule: some ring op carries a non-zero iteration tag
+    // (the Figure 1(c) "_1" annotations).
+    bool tagged = false;
+    for (const auto& st : r.stg.states())
+      if (st.ring_id >= 0)
+        for (const auto& op : st.ops)
+          if (op.iteration > 0) tagged = true;
+    EXPECT_TRUE(tagged);
+  }
+}
+
+TEST(Pipeline, DrainCompletesTailOps) {
+  Harness h;
+  // Store scheduled past the check: the exit path must include drain
+  // states that carry the store.
+  const auto fn = parse(R"(
+F(int n) {
+  input int x[16];
+  int y[16];
+  int i = 0;
+  while (i < 15) {
+    y[i] = x[i] + x[i + 1];
+    i = i + 1;
+  }
+  output i;
+}
+)");
+  const ScheduleResult r = h.schedule(fn);
+  ASSERT_TRUE(r.loops[0].pipelined);
+  bool drain_store = false;
+  for (const auto& st : r.stg.states())
+    if (st.ring_id < 0)
+      for (const auto& op : st.ops)
+        if (op.is_store) drain_store = true;
+  EXPECT_TRUE(drain_store);  // prologue or drain replica exists
+}
+
+TEST(Pipeline, FusedPhasesGetDistinctRingIds) {
+  Harness h;
+  h.alloc.counts["i1"] = 2;
+  const auto fn = parse(R"(
+F(int n) {
+  int a = 0;
+  int b = 0;
+  int i = 0;
+  int j = 0;
+  while (i < 20) { a = a + 2; i = i + 1; }
+  while (j < 30) { b = b + 3; j = j + 1; }
+}
+)");
+  const ScheduleResult r = h.schedule(fn);
+  EXPECT_FALSE(r.rtl_exact);  // fused schedules are metrics-grade
+  std::set<int> rings;
+  for (const auto& st : r.stg.states())
+    if (st.ring_id >= 0) rings.insert(st.ring_id);
+  // One ring per generated phase subset (at least {both}, {a}, {b}).
+  EXPECT_GE(rings.size(), 3u);
+}
+
+}  // namespace
+}  // namespace fact::sched

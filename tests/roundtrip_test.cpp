@@ -1,0 +1,68 @@
+// Printer/parser round-trip property: Function::str() emits valid mini-
+// language text that parses back to a semantically identical behavior.
+// Exercised on the benchmarks, on FACT-transformed outputs (which contain
+// generated temps and selects), and on fuzzed programs.
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "opt/fact.hpp"
+#include "program_gen.hpp"
+#include "sim/trace.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fact {
+namespace {
+
+void expect_roundtrip(const ir::Function& fn, const sim::Trace& trace) {
+  const std::string text = fn.str();
+  ir::Function reparsed = lang::parse_function(text);
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, reparsed, trace))
+      << "round-trip changed semantics:\n"
+      << text;
+  // Printing must also be a fixpoint after one round.
+  EXPECT_EQ(reparsed.str(), text);
+}
+
+class RoundTripBenchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RoundTripBenchmarks, SourcePrintsAndReparses) {
+  const workloads::Workload w = workloads::by_name(GetParam());
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 5);
+  expect_roundtrip(w.fn, trace);
+}
+
+TEST_P(RoundTripBenchmarks, OptimizedOutputPrintsAndReparses) {
+  const workloads::Workload w = workloads::by_name(GetParam());
+  // TEST1's allocation names come from the Table 1 library.
+  const auto lib = w.name == "TEST1" ? hlslib::Library::table1()
+                                     : hlslib::Library::dac98();
+  const opt::FactResult r = opt::run_fact(
+      w.fn, lib, w.allocation, hlslib::FuSelection::defaults(lib), w.trace,
+      xform::TransformLibrary::standard(), {});
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 77);
+  expect_roundtrip(r.optimized, trace);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, RoundTripBenchmarks,
+                         ::testing::Values("GCD", "FIR", "TEST2", "SINTRAN",
+                                           "IGF", "PPS", "TEST1"));
+
+TEST(RoundTripFuzz, RandomProgramsSurviveReprinting) {
+  for (uint64_t seed = 500; seed < 540; ++seed) {
+    const ir::Function fn = testgen::random_program(seed);
+    sim::TraceConfig tc;
+    tc.executions = 4;
+    sim::InputSpec spec;
+    spec.kind = sim::InputSpec::Kind::Uniform;
+    spec.lo = -20;
+    spec.hi = 20;
+    for (const auto& p : fn.params()) tc.params[p] = spec;
+    for (const auto& a : fn.arrays()) tc.arrays[a.name] = spec;
+    const sim::Trace trace = sim::generate_trace(fn, tc, seed);
+    expect_roundtrip(fn, trace);
+  }
+}
+
+}  // namespace
+}  // namespace fact

@@ -1,0 +1,63 @@
+// Hardware-vs-interpreter equivalence on the paper's benchmarks: the RTL
+// plan (the exact semantics the Verilog backend prints) must reproduce the
+// behavioral interpreter's observations on every trace stimulus — both for
+// the original behaviors and for the FACT-optimized ones.
+
+#include <gtest/gtest.h>
+
+#include "opt/fact.hpp"
+#include "rtl/sim.hpp"
+#include "sched/scheduler.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fact {
+namespace {
+
+void expect_rtl_equiv(const ir::Function& reference, const ir::Function& impl,
+                      const hlslib::Allocation& alloc, const sim::Trace& trace,
+                      const char* tag) {
+  const auto lib = hlslib::Library::dac98();
+  const sim::Profile profile = sim::profile_function(impl, trace);
+  sched::SchedOptions so;
+  so.fuse_loops = false;  // RTL-exact mode (see ScheduleResult::rtl_exact)
+  sched::Scheduler scheduler(lib, alloc, hlslib::FuSelection::defaults(lib), so);
+  const sched::ScheduleResult sr = scheduler.schedule(impl, profile);
+  ASSERT_TRUE(sr.rtl_exact) << tag;
+  const rtl::RtlPlan plan = rtl::build_rtl_plan(impl, sr.stg);
+  sim::Interpreter interp(reference);
+  for (const auto& stim : trace) {
+    const sim::Observation ref = interp.run(stim);
+    const rtl::RtlSimResult got = rtl::simulate_rtl(impl, plan, stim);
+    ASSERT_TRUE(got.completed) << tag;
+    ASSERT_EQ(got.obs, ref) << tag;
+    EXPECT_GT(got.cycles, 0);
+  }
+}
+
+class RtlEquivalence : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RtlEquivalence, OriginalBehavior) {
+  const workloads::Workload w = workloads::by_name(GetParam());
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 7);
+  expect_rtl_equiv(w.fn, w.fn, w.allocation, trace, GetParam());
+}
+
+TEST_P(RtlEquivalence, FactOptimizedBehavior) {
+  const workloads::Workload w = workloads::by_name(GetParam());
+  const auto lib = hlslib::Library::dac98();
+  opt::FactOptions fo;
+  fo.sched.fuse_loops = false;
+  const opt::FactResult r =
+      opt::run_fact(w.fn, lib, w.allocation, hlslib::FuSelection::defaults(lib),
+                    w.trace, xform::TransformLibrary::standard(), fo);
+  // Fresh trace (different seed than the optimizer used).
+  const sim::Trace trace = sim::generate_trace(w.fn, w.trace, 1234);
+  expect_rtl_equiv(w.fn, r.optimized, w.allocation, trace, GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Benchmarks, RtlEquivalence,
+                         ::testing::Values("GCD", "FIR", "SINTRAN", "IGF",
+                                           "PPS", "TEST2"));
+
+}  // namespace
+}  // namespace fact

@@ -1,0 +1,458 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "sched/dfg.hpp"
+#include "sched/region.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+
+namespace fact::sched {
+namespace {
+
+ir::Function parse(const std::string& src) { return lang::parse_function(src); }
+
+struct Harness {
+  hlslib::Library lib = hlslib::Library::dac98();
+  hlslib::FuSelection sel = hlslib::FuSelection::defaults(lib);
+  hlslib::Allocation alloc;
+  SchedOptions opts;
+
+  Harness() {
+    alloc.counts = {{"a1", 2}, {"sb1", 2}, {"mt1", 1}, {"cp1", 2},
+                    {"e1", 1}, {"i1", 1},  {"n1", 1},  {"s1", 1}};
+  }
+
+  ScheduleResult schedule(const ir::Function& fn,
+                          const sim::TraceConfig& tc = {}) const {
+    const sim::Trace trace = sim::generate_trace(fn, tc, 7);
+    const sim::Profile profile = sim::profile_function(fn, trace);
+    Scheduler s(lib, alloc, sel, opts);
+    return s.schedule(fn, profile);
+  }
+};
+
+// ---- region tree ------------------------------------------------------
+
+TEST(RegionTree, GroupsStraightLineCode) {
+  const auto fn = parse("F(int a) { int x = a + 1; int y = x * 2; int z = y - 1; }");
+  const RegionPtr tree = build_region_tree(fn);
+  ASSERT_EQ(tree->children.size(), 1u);
+  EXPECT_TRUE(tree->children[0]->is_straight());
+  EXPECT_EQ(tree->children[0]->stmts.size(), 3u);
+}
+
+TEST(RegionTree, SplitsAtControlFlow) {
+  const auto fn = parse(R"(
+F(int a) {
+  int x = a + 1;
+  if (x > 0) { x = x - 1; }
+  int y = x * 2;
+}
+)");
+  const RegionPtr tree = build_region_tree(fn);
+  ASSERT_EQ(tree->children.size(), 3u);
+  EXPECT_TRUE(tree->children[0]->is_straight());
+  EXPECT_EQ(tree->children[1]->kind, Region::Kind::If);
+  EXPECT_TRUE(tree->children[2]->is_straight());
+}
+
+TEST(RegionTree, LoopBodyStraightDetection) {
+  const auto straight = parse("F(int n) { int i = 0; while (i < n) { i = i + 1; } }");
+  const auto tree1 = build_region_tree(straight);
+  const Region* loop1 = tree1->children[1].get();
+  ASSERT_EQ(loop1->kind, Region::Kind::Loop);
+  EXPECT_TRUE(loop1->loop_body_is_straight());
+
+  const auto branchy = parse(R"(
+F(int n) {
+  int i = 0;
+  while (i < n) { if (i > 2) { i = i + 2; } else { i = i + 1; } }
+}
+)");
+  const auto tree2 = build_region_tree(branchy);
+  EXPECT_FALSE(tree2->children[1]->loop_body_is_straight());
+}
+
+TEST(RegionTree, FlattensNestedBlocks) {
+  // for-lowering produces nested blocks; adjacent straight code must merge.
+  const auto fn = parse("F() { int a = 1; for (a = 0; a < 2; a++) { int b = a; } int c = 2; }");
+  const RegionPtr tree = build_region_tree(fn);
+  // init statements merge into one straight region before the loop.
+  ASSERT_GE(tree->children.size(), 2u);
+  EXPECT_TRUE(tree->children[0]->is_straight());
+  EXPECT_EQ(tree->children[0]->stmts.size(), 2u);  // a=1; a=0
+}
+
+// ---- DFG construction -------------------------------------------------
+
+TEST(Dfg, ValueNumberingSharesCommonSubexpressions) {
+  Harness s;
+  const auto fn = parse("F(int a, int b) { int x = (a > b) ? a : b; int y = (a > b) ? b : a; }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  const Dfg dfg = b.build(tree->children[0]->stmts);
+  int comparators = 0;
+  for (const auto& n : dfg.nodes)
+    if (n.fu == "cp1") comparators++;
+  EXPECT_EQ(comparators, 1);
+}
+
+TEST(Dfg, ValueNumberingInvalidatedOnRedefine) {
+  Harness s;
+  const auto fn = parse("F(int a) { int x = a * a; a = a + 1; int y = a * a; }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  const Dfg dfg = b.build(tree->children[0]->stmts);
+  int mults = 0;
+  for (const auto& n : dfg.nodes)
+    if (n.fu == "mt1") mults++;
+  EXPECT_EQ(mults, 2);  // a*a before and after redefinition differ
+}
+
+TEST(Dfg, CountedLoopComparisonsAreControllerResident) {
+  Harness s;
+  const auto fn = parse("F(int n, int c) { int x = (n < 5) + (n < c); }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  const Dfg dfg = b.build(tree->children[0]->stmts);
+  int datapath_cmp = 0, controller_cmp = 0;
+  for (const auto& n : dfg.nodes) {
+    if (n.op != ir::Op::Lt) continue;
+    if (n.fu.empty()) controller_cmp++; else datapath_cmp++;
+  }
+  EXPECT_EQ(controller_cmp, 1);  // n < 5
+  EXPECT_EQ(datapath_cmp, 1);    // n < c
+}
+
+TEST(Dfg, IncrementerBindsSelfIncrementsOnly) {
+  Harness s;
+  // `i = i + 1` is a counter update (incr1 per Table 1); `j = a + 1` is a
+  // data add and must stay on the adder so counters keep incrementers.
+  const auto fn = parse("F(int a) { int i = 3; i = i + 1; int j = a + 1; }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  const Dfg dfg = b.build(tree->children[0]->stmts);
+  int incrs = 0, adders = 0;
+  for (const auto& n : dfg.nodes) {
+    if (n.fu == "i1") incrs++;
+    if (n.fu == "a1") adders++;
+  }
+  EXPECT_EQ(incrs, 1);
+  EXPECT_EQ(adders, 1);
+}
+
+TEST(Dfg, ChainingRespectsClockPeriod) {
+  Harness s;
+  // Three dependent adds at 10ns each: two chain into 20ns <= 25, the
+  // third starts a new cstep.
+  const auto fn = parse("F(int a, int b) { int x = ((a + b) + a) + b; }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  Dfg dfg = b.build(tree->children[0]->stmts);
+  ResourceTable table(s.lib, s.alloc, 0);
+  ASSERT_TRUE(list_schedule(dfg, table, 25.0));
+  EXPECT_EQ(dfg.num_csteps(), 2);
+}
+
+TEST(Dfg, ResourceConstraintSerializes) {
+  Harness s;
+  s.alloc.counts["mt1"] = 1;
+  // Two independent multiplies, one multiplier: 2 csteps.
+  const auto fn = parse("F(int a, int b) { int x = a * a; int y = b * b; }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  Dfg dfg = b.build(tree->children[0]->stmts);
+  ResourceTable table(s.lib, s.alloc, 0);
+  ASSERT_TRUE(list_schedule(dfg, table, 25.0));
+  EXPECT_EQ(dfg.num_csteps(), 2);
+}
+
+TEST(Dfg, MultiCycleOperations) {
+  Harness s;
+  // Multiplier (23ns at 5V) at 4V scales to ~34ns > 25ns: spans 2 csteps.
+  const auto fn = parse("F(int a) { int x = a * a; }");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 4.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  Dfg dfg = b.build(tree->children[0]->stmts);
+  ResourceTable table(s.lib, s.alloc, 0);
+  ASSERT_TRUE(list_schedule(dfg, table, 25.0));
+  EXPECT_EQ(dfg.nodes[0].span, 2);
+  EXPECT_EQ(dfg.num_csteps(), 2);
+}
+
+TEST(Dfg, MemoryPortSerializesSameArray) {
+  Harness s;
+  const auto fn = parse(R"(
+F(int i) {
+  input int x[8];
+  int a = x[i];
+  int b = x[i + 1];
+}
+)");
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  Dfg dfg = b.build(tree->children[0]->stmts);
+  ResourceTable table(s.lib, s.alloc, 0);
+  ASSERT_TRUE(list_schedule(dfg, table, 25.0));
+  // Two reads of x cannot share a cycle on a single-ported memory.
+  int c0 = -1, c1 = -1;
+  for (const auto& n : dfg.nodes)
+    if (n.array == "x") (c0 < 0 ? c0 : c1) = n.cstep;
+  EXPECT_NE(c0, c1);
+}
+
+TEST(Dfg, ResourceMinIiMatchesCounts) {
+  Harness s;
+  s.alloc.counts["a1"] = 2;
+  const auto fn = parse("F(int a) { int x = a + 1 + a + 2 + a + 3; }");
+  // Note: +1 binds to the incrementer; remaining adds to a1.
+  DfgBuilder b(s.lib, s.alloc, s.sel, 5.0, 1.0);
+  const RegionPtr tree = build_region_tree(fn);
+  const Dfg dfg = b.build(tree->children[0]->stmts);
+  const int ii = resource_min_ii(dfg, s.alloc);
+  EXPECT_GE(ii, 2);  // 4 adds on 2 adders (chain is left-leaning: a+1 first)
+}
+
+// ---- full scheduling --------------------------------------------------
+
+TEST(Scheduler, StraightLineProducesLinearStg) {
+  Harness s;
+  const auto fn = parse("F(int a, int b) { int x = a * b; int y = x * 2; output y; }");
+  const ScheduleResult r = s.schedule(fn);
+  // Two dependent multiplies on one multiplier: 2 states, deterministic.
+  EXPECT_EQ(r.stg.num_states(), 2u);
+  EXPECT_NEAR(stg::average_schedule_length(r.stg), 2.0, 1e-9);
+}
+
+TEST(Scheduler, EmptyFunctionIdles) {
+  const auto fn = parse("F() { }");
+  Harness s;
+  const ScheduleResult r = s.schedule(fn);
+  EXPECT_EQ(r.stg.num_states(), 1u);
+  EXPECT_NEAR(stg::average_schedule_length(r.stg), 1.0, 1e-9);
+}
+
+TEST(Scheduler, IfCreatesBranchStates) {
+  Harness s;
+  const auto fn = parse(R"(
+F(int a, int b) {
+  int x = 0;
+  if (a > b) { x = a * 2; } else { x = b * 3; }
+  output x;
+}
+)");
+  const ScheduleResult r = s.schedule(fn);
+  // Branch probabilities on the condition state's out edges sum to 1 and
+  // both branches are represented.
+  r.stg.validate();
+  EXPECT_GE(r.stg.num_states(), 4u);
+}
+
+TEST(Scheduler, SimpleLoopPipelinesToIiOne) {
+  Harness s;
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  int acc = 0;
+  while (i < n) {
+    acc = acc + i;
+    i = i + 1;
+  }
+  output acc;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 10, 30, 0};
+  const ScheduleResult r = s.schedule(fn, tc);
+  ASSERT_EQ(r.loops.size(), 1u);
+  EXPECT_TRUE(r.loops[0].pipelined);
+  EXPECT_EQ(r.loops[0].ii, 1);
+}
+
+TEST(Scheduler, RecurrenceLimitsIi) {
+  Harness s;
+  // Loop-carried chain: acc = (acc * k) computed on the 23ns multiplier,
+  // then used next iteration: II >= 1 but the mult occupies a full cycle;
+  // acc = acc*k + i*k has a 2-op recurrence -> II 2.
+  const auto fn = parse(R"(
+F(int n, int k) {
+  int i = 0;
+  int acc = 1;
+  while (i < n) {
+    acc = (acc * k) * k;
+    i = i + 1;
+  }
+  output acc;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 5, 10, 0};
+  tc.params["k"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 3, 0};
+  const ScheduleResult r = s.schedule(fn, tc);
+  ASSERT_EQ(r.loops.size(), 1u);
+  EXPECT_TRUE(r.loops[0].pipelined);
+  EXPECT_GE(r.loops[0].ii, 2);  // two dependent mults, one multiplier
+}
+
+TEST(Scheduler, LoopWithBranchFallsBackToStateMachine) {
+  Harness s;
+  const auto fn = parse(R"(
+F(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  output a;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["a"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 40, 0};
+  tc.params["b"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 40, 0};
+  const ScheduleResult r = s.schedule(fn, tc);
+  ASSERT_EQ(r.loops.size(), 1u);
+  EXPECT_FALSE(r.loops[0].pipelined);
+  // test state + if-test state + branch states.
+  EXPECT_GE(r.stg.num_states(), 3u);
+}
+
+TEST(Scheduler, AverageLengthTracksExpectedIterations) {
+  Harness s;
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  while (i < n) { i = i + 1; }
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["n"] = {sim::InputSpec::Kind::Constant, 0, 0, 0, 0, 0, 20};
+  const ScheduleResult r = s.schedule(fn, tc);
+  // II=1 pipelined loop with ~20 iterations plus the init state.
+  EXPECT_NEAR(stg::average_schedule_length(r.stg), 21.0, 2.0);
+}
+
+TEST(Scheduler, InfeasibleAllocationDiagnosed) {
+  Harness s;
+  s.alloc.counts.erase("mt1");
+  const auto fn = parse("F(int a) { int x = a * a; }");
+  EXPECT_THROW(s.schedule(fn), Error);
+}
+
+TEST(Scheduler, ShortClockMultiCyclesOps) {
+  Harness s;
+  s.opts.clock_ns = 6.0;  // adder (10ns) must span two cycles
+  const auto fn = parse("F(int a, int b) { int x = a + b; output x; }");
+  const ScheduleResult r = s.schedule(fn);
+  EXPECT_GE(r.stg.num_states(), 2u);
+  EXPECT_NEAR(stg::average_schedule_length(r.stg), 2.0, 1e-9);
+}
+
+TEST(Scheduler, IndependentLoopsFuse) {
+  Harness s;
+  s.alloc.counts["i1"] = 2;  // one incrementer per loop counter
+  const auto fn = parse(R"(
+F(int n) {
+  input int x[32];
+  input int z[32];
+  int x1[32];
+  int z1[32];
+  int i = 0;
+  int j = 0;
+  while (i < 20) { x1[i] = x[i] + 1; i = i + 1; }
+  while (j < 30) { z1[j] = z[j] + 2; j = j + 1; }
+}
+)");
+  const ScheduleResult r = s.schedule(fn);
+  ASSERT_EQ(r.loops.size(), 2u);
+  EXPECT_FALSE(r.loops[0].fused_with.empty());
+  EXPECT_FALSE(r.loops[1].fused_with.empty());
+  // Both loops at II=1 concurrently: the total length is near the longer
+  // loop (30), far below the sequential sum (50).
+  EXPECT_LT(stg::average_schedule_length(r.stg), 42.0);
+}
+
+TEST(Scheduler, DependentLoopsDoNotFuse) {
+  Harness s;
+  const auto fn = parse(R"(
+F(int n) {
+  input int x[32];
+  int y[32];
+  int i = 0;
+  int j = 0;
+  while (i < 8) { y[i] = x[i] + 1; i = i + 1; }
+  while (j < 8) { y[j] = y[j] * 2; j = j + 1; }
+}
+)");
+  const ScheduleResult r = s.schedule(fn);
+  ASSERT_EQ(r.loops.size(), 2u);
+  EXPECT_TRUE(r.loops[0].fused_with.empty());
+  EXPECT_TRUE(r.loops[1].fused_with.empty());
+}
+
+TEST(Scheduler, FusionDisabledByOption) {
+  Harness s;
+  s.opts.fuse_loops = false;
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  int j = 0;
+  int a = 0;
+  int b = 0;
+  while (i < 20) { a = a + 1; i = i + 1; }
+  while (j < 30) { b = b + 2; j = j + 1; }
+}
+)");
+  const ScheduleResult r = s.schedule(fn);
+  for (const auto& l : r.loops) EXPECT_TRUE(l.fused_with.empty());
+}
+
+TEST(Scheduler, PipeliningDisabledByOption) {
+  Harness s;
+  s.opts.pipeline_loops = false;
+  s.opts.fuse_loops = false;
+  const auto fn = parse("F(int n) { int i = 0; while (i < n) { i = i + 1; } }");
+  const ScheduleResult r = s.schedule(fn);
+  ASSERT_EQ(r.loops.size(), 1u);
+  EXPECT_FALSE(r.loops[0].pipelined);
+}
+
+TEST(Scheduler, StgAnnotationsCoverOpsAndRegisters) {
+  Harness s;
+  const auto fn = parse("F(int a, int b) { int x = a + b; output x; }");
+  const ScheduleResult r = s.schedule(fn);
+  int adds = 0, reads = 0, writes = 0;
+  for (const auto& st : r.stg.states()) {
+    for (const auto& op : st.ops)
+      if (op.fu_type == "a1") adds++;
+    reads += st.reg_reads;
+    writes += st.reg_writes;
+  }
+  EXPECT_EQ(adds, 1);
+  EXPECT_EQ(reads, 2);
+  EXPECT_EQ(writes, 1);
+}
+
+TEST(Scheduler, WaitingLoopDoesNotDegradeAdmittedOnes) {
+  Harness s;
+  s.alloc.counts["a1"] = 1;  // one adder: the two adder loops cannot share
+  const auto fn = parse(R"(
+F(int n) {
+  int i = 0;
+  int j = 0;
+  int a = 0;
+  int b = 0;
+  while (i < 20) { a = a + 2; i = i + 1; }
+  while (j < 20) { b = b + 3; j = j + 1; }
+}
+)");
+  const ScheduleResult r = s.schedule(fn);
+  ASSERT_EQ(r.loops.size(), 2u);
+  // First loop admitted at II=1; second waits (phases), still II=1 when
+  // it eventually runs alone.
+  EXPECT_EQ(r.loops[0].ii, 1);
+  EXPECT_EQ(r.loops[1].ii, 1);
+  // Sequential-ish length: about 40 cycles, not 20.
+  EXPECT_GT(stg::average_schedule_length(r.stg), 35.0);
+}
+
+}  // namespace
+}  // namespace fact::sched

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "stg/stg.hpp"
+#include "util/error.hpp"
+
+namespace fact::stg {
+namespace {
+
+/// Two-state loop: S0 -> S1 (always), S1 -> S1 with prob p (loop), S1 -> S0
+/// with prob 1-p (exec boundary).
+Stg simple_loop(double p) {
+  Stg stg;
+  const int s0 = stg.add_state("S0");
+  const int s1 = stg.add_state("S1");
+  stg.add_edge(s0, s1, 1.0);
+  stg.add_edge(s1, s1, p, "loop");
+  stg.add_edge(s1, s0, 1.0 - p, "exit", /*exec_boundary=*/true);
+  stg.set_entry(s0);
+  return stg;
+}
+
+TEST(Stg, ValidatePassesOnWellFormed) {
+  EXPECT_NO_THROW(simple_loop(0.5).validate());
+}
+
+TEST(Stg, ValidateCatchesBadProbabilitySum) {
+  Stg stg;
+  const int s0 = stg.add_state("");
+  stg.add_edge(s0, s0, 0.7, "", true);
+  EXPECT_THROW(stg.validate(), Error);
+}
+
+TEST(Stg, ValidateCatchesDeadEnd) {
+  Stg stg;
+  const int s0 = stg.add_state("");
+  const int s1 = stg.add_state("");
+  stg.add_edge(s0, s1, 1.0, "", true);
+  EXPECT_THROW(stg.validate(), Error);  // s1 has no outgoing edge
+}
+
+TEST(Stg, ValidateCatchesUnreachable) {
+  Stg stg;
+  const int s0 = stg.add_state("");
+  const int s1 = stg.add_state("");
+  stg.add_edge(s0, s0, 1.0, "", true);
+  stg.add_edge(s1, s0, 1.0);
+  EXPECT_THROW(stg.validate(), Error);  // s1 unreachable
+}
+
+TEST(Stg, ValidateRequiresBoundary) {
+  Stg stg;
+  const int s0 = stg.add_state("");
+  stg.add_edge(s0, s0, 1.0);
+  EXPECT_THROW(stg.validate(), Error);
+}
+
+TEST(Stg, AddEdgeRangeChecked) {
+  Stg stg;
+  stg.add_state("");
+  EXPECT_THROW(stg.add_edge(0, 5, 1.0), Error);
+}
+
+TEST(Markov, UniformCycleProbabilities) {
+  // Deterministic 3-cycle: pi = 1/3 each; the linear solve must handle
+  // this periodic chain (power iteration would not converge).
+  Stg stg;
+  const int a = stg.add_state("");
+  const int b = stg.add_state("");
+  const int c = stg.add_state("");
+  stg.add_edge(a, b, 1.0);
+  stg.add_edge(b, c, 1.0);
+  stg.add_edge(c, a, 1.0, "", true);
+  stg.validate();
+  const auto pi = state_probabilities(stg);
+  EXPECT_NEAR(pi[0], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(pi[1], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(pi[2], 1.0 / 3, 1e-12);
+  EXPECT_NEAR(average_schedule_length(stg), 3.0, 1e-9);
+}
+
+TEST(Markov, GeometricLoopLength) {
+  // Loop closing with p: expected iterations p/(1-p); schedule length =
+  // 1 (S0) + expected stays in S1 = 1 + 1/(1-p).
+  for (double p : {0.5, 0.9, 0.98}) {
+    const Stg stg = simple_loop(p);
+    const double len = average_schedule_length(stg);
+    EXPECT_NEAR(len, 1.0 + 1.0 / (1.0 - p), 1e-9) << p;
+  }
+}
+
+TEST(Markov, BranchWeightedLengths) {
+  // Entry forks to a 1-state path (prob 0.75) or a 2-state path (0.25):
+  // E[len] = 1 + 0.75*1 + 0.25*2 = 2.25.
+  Stg stg;
+  const int s0 = stg.add_state("");
+  const int fast = stg.add_state("");
+  const int slow1 = stg.add_state("");
+  const int slow2 = stg.add_state("");
+  stg.add_edge(s0, fast, 0.75);
+  stg.add_edge(s0, slow1, 0.25);
+  stg.add_edge(slow1, slow2, 1.0);
+  stg.add_edge(fast, s0, 1.0, "", true);
+  stg.add_edge(slow2, s0, 1.0, "", true);
+  stg.validate();
+  EXPECT_NEAR(average_schedule_length(stg), 2.25, 1e-9);
+}
+
+TEST(Markov, EdgeFrequenciesSumToOnePerStateVisit) {
+  const Stg stg = simple_loop(0.9);
+  const auto freq = edge_frequencies(stg);
+  // Total edge traversal frequency equals 1 (one edge taken per cycle).
+  double total = 0.0;
+  for (double f : freq) total += f;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Markov, ProbabilitiesFormDistribution) {
+  const Stg stg = simple_loop(0.7);
+  const auto pi = state_probabilities(stg);
+  double total = 0.0;
+  for (double p : pi) {
+    EXPECT_GE(p, 0.0);
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(Stg, DotContainsStatesAndProbabilities) {
+  Stg stg = simple_loop(0.25);
+  {
+    fact::stg::OpInstance op_inst;
+    op_inst.fu_type = "a1";
+    op_inst.op = ir::Op::Add;
+    op_inst.stmt_id = 3;
+    op_inst.iteration = 1;
+    op_inst.label = "a=+";
+    stg.state(1).ops.push_back(std::move(op_inst));
+  }
+  const std::string dot = stg.dot("g");
+  EXPECT_NE(dot.find("S0"), std::string::npos);
+  EXPECT_NE(dot.find("a=+_1"), std::string::npos);
+  EXPECT_NE(dot.find("(0.25)"), std::string::npos);
+  EXPECT_NE(dot.find("style=bold"), std::string::npos);  // boundary edge
+}
+
+}  // namespace
+}  // namespace fact::stg

@@ -1,0 +1,20 @@
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "ir/stmt.hpp"
+
+namespace fact {
+
+/// Builds a vector of statements from move-only StmtPtr arguments
+/// (std::vector cannot be brace-initialized from unique_ptrs).
+template <typename... T>
+std::vector<ir::StmtPtr> make_vector(T&&... stmts) {
+  std::vector<ir::StmtPtr> v;
+  v.reserve(sizeof...(stmts));
+  (v.push_back(std::forward<T>(stmts)), ...);
+  return v;
+}
+
+}  // namespace fact

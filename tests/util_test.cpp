@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "util/dot.hpp"
+#include "util/error.hpp"
+#include "util/rng.hpp"
+#include "util/strfmt.hpp"
+
+namespace fact {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i)
+    if (a.next() == b.next()) same++;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.uniform_int(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(Rng, UniformIntSingletonRange) {
+  Rng rng(11);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, GaussianMomentsRoughlyStandard) {
+  Rng rng(123);
+  double sum = 0, sum2 = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sum2 += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Ar1Filter, ProducesRequestedCorrelation) {
+  Rng rng(5);
+  Ar1Filter f(0.8);
+  std::vector<double> xs;
+  for (int i = 0; i < 50000; ++i) xs.push_back(f.step(rng.gaussian()));
+  double num = 0, den = 0;
+  for (size_t i = 1; i < xs.size(); ++i) num += xs[i] * xs[i - 1];
+  for (double x : xs) den += x * x;
+  EXPECT_NEAR(num / den, 0.8, 0.03);
+}
+
+TEST(Ar1Filter, UnitVarianceOutput) {
+  Rng rng(6);
+  Ar1Filter f(0.9);
+  double sum2 = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = f.step(rng.gaussian());
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum2 / n, 1.0, 0.08);
+}
+
+TEST(CorrelatedTrace, DeterministicAndScaled) {
+  Rng a(99), b(99);
+  const auto t1 = correlated_trace(a, 100, 0.9, 50.0, 10.0);
+  const auto t2 = correlated_trace(b, 100, 0.9, 50.0, 10.0);
+  EXPECT_EQ(t1, t2);
+  const double mean =
+      std::accumulate(t1.begin(), t1.end(), 0.0) / static_cast<double>(t1.size());
+  EXPECT_NEAR(mean, 50.0, 10.0);
+}
+
+TEST(Strfmt, FormatsLikePrintf) {
+  EXPECT_EQ(strfmt("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+  EXPECT_EQ(strfmt("empty"), "empty");
+}
+
+TEST(DotWriter, EscapesAndStructures) {
+  DotWriter w("g");
+  w.node("a", "label \"quoted\"", "shape=box");
+  w.edge("a", "b", "e1");
+  const std::string out = w.str();
+  EXPECT_NE(out.find("digraph g {"), std::string::npos);
+  EXPECT_NE(out.find("\\\"quoted\\\""), std::string::npos);
+  EXPECT_NE(out.find("\"a\" -> \"b\""), std::string::npos);
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Error, CarriesMessageAndPosition) {
+  const Error e("boom");
+  EXPECT_STREQ(e.what(), "boom");
+  const ParseError pe("bad token", 3, 14);
+  EXPECT_EQ(pe.line(), 3);
+  EXPECT_EQ(pe.col(), 14);
+  EXPECT_NE(std::string(pe.what()).find("3:14"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fact

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "workloads/workloads.hpp"
+
+namespace fact::workloads {
+namespace {
+
+class Table2Benchmarks : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Table2Benchmarks, ParsesValidatesAndTerminates) {
+  const Workload w = by_name(GetParam());
+  EXPECT_EQ(w.name, GetParam());
+  EXPECT_FALSE(w.source.empty());
+  w.fn.validate();
+  EXPECT_FALSE(w.allocation.counts.empty());
+
+  // Every benchmark must terminate on its configured traces.
+  const sim::Trace trace = generate_trace(w.fn, w.trace, 99);
+  ASSERT_FALSE(trace.empty());
+  const sim::Profile profile = sim::profile_function(w.fn, trace);
+  EXPECT_EQ(profile.executions, trace.size());
+  EXPECT_GT(profile.avg_steps(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(All, Table2Benchmarks,
+                         ::testing::Values("GCD", "FIR", "TEST2", "SINTRAN",
+                                           "IGF", "PPS", "TEST1"));
+
+TEST(Workloads, GcdComputesGcd) {
+  const Workload w = make_gcd();
+  sim::Interpreter interp(w.fn);
+  sim::Stimulus in;
+  in.params = {{"a", 48}, {"b", 36}};
+  EXPECT_EQ(interp.run(in).outputs.at("a"), 12);
+}
+
+TEST(Workloads, FirComputesConvolution) {
+  const Workload w = make_fir();
+  sim::Interpreter interp(w.fn);
+  sim::Stimulus in;
+  in.params = {{"gain", 1}};
+  // Impulse in x at position 8, coefficient vector c: y[0] picks up c[0].
+  in.arrays["x"] = std::vector<int64_t>(24, 0);
+  in.arrays["x"][8] = 1;
+  in.arrays["c"] = {3, 5, 7, 9, 11, 13, 15, 17};
+  const auto out = interp.run(in);
+  // y[n-8] = sum_k c[k] * x[n-k]; for n=8: c[0]*x[8] = 3.
+  EXPECT_EQ(out.arrays.at("y")[0], 3);
+  // n=9: c[1]*x[8] = 5.
+  EXPECT_EQ(out.arrays.at("y")[1], 5);
+}
+
+TEST(Workloads, PpsComputesPrefixAndTotal) {
+  const Workload w = make_pps();
+  sim::Interpreter interp(w.fn);
+  sim::Stimulus in;
+  for (int i = 0; i < 8; ++i)
+    in.params["x" + std::to_string(i)] = i + 1;
+  const auto out = interp.run(in);
+  EXPECT_EQ(out.outputs.at("p"), 1 + 2 + 3 + 4);
+  EXPECT_EQ(out.outputs.at("s"), 36);
+}
+
+TEST(Workloads, IgfSeriesConverges) {
+  const Workload w = make_igf();
+  sim::Interpreter interp(w.fn);
+  sim::Stimulus in;
+  in.params = {{"xv", 700}, {"eps", 8}, {"big", 4096}};
+  in.arrays["r"] = std::vector<int64_t>(32, 512);  // 0.5 in Q10
+  const auto out = interp.run(in);
+  // sum starts at 1024 and only grows; series with ratio ~0.34 converges.
+  EXPECT_GT(out.outputs.at("sum"), 1024);
+  EXPECT_LT(out.outputs.at("sum"), 4096);
+}
+
+TEST(Workloads, Test2WritesAllStreams) {
+  const Workload w = make_test2();
+  sim::Interpreter interp(w.fn);
+  const sim::Trace trace = generate_trace(w.fn, w.trace, 3);
+  const auto out = interp.run(trace[0]);
+  // L3's output stream y must reflect (y1+y2)-(y3+y4).
+  const auto& y = out.arrays.at("y");
+  const auto& y1 = trace[0].arrays.at("y1");
+  const auto& y2 = trace[0].arrays.at("y2");
+  const auto& y3 = trace[0].arrays.at("y3");
+  const auto& y4 = trace[0].arrays.at("y4");
+  for (size_t i = 0; i < 4; ++i)
+    EXPECT_EQ(y[i], (y1[i] + y2[i]) - (y3[i] + y4[i]));
+}
+
+TEST(Workloads, Table3AllocationsMatchPaper) {
+  // Spot-check the published allocation constraints (Table 3).
+  EXPECT_EQ(make_gcd().allocation.count("sb1"), 2);
+  EXPECT_EQ(make_gcd().allocation.count("cp1"), 1);
+  EXPECT_EQ(make_gcd().allocation.count("e1"), 1);
+  EXPECT_EQ(make_gcd().allocation.count("a1"), 0);
+  EXPECT_EQ(make_fir().allocation.count("sb1"), 4);
+  EXPECT_EQ(make_fir().allocation.count("mt1"), 1);
+  EXPECT_EQ(make_sintran().allocation.count("mt1"), 5);
+  EXPECT_EQ(make_pps().allocation.count("a1"), 5);
+  EXPECT_EQ(make_pps().allocation.counts.size(), 1u);
+  EXPECT_EQ(make_test2().allocation.count("i1"), 2);
+  EXPECT_EQ(make_igf().allocation.count("s1"), 1);
+}
+
+TEST(Workloads, Test1MatchesFigure1Probabilities) {
+  // Example 1 reports the while closing with p ~ 0.98 and the if taken
+  // with p ~ 0.37; the trace configuration must land in that regime.
+  const Workload w = make_test1();
+  const sim::Trace trace = generate_trace(w.fn, w.trace, 7);
+  const sim::Profile p = sim::profile_function(w.fn, trace);
+  int while_id = -1, if_id = -1;
+  w.fn.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::While) while_id = s.id;
+    if (s.kind == ir::StmtKind::If) if_id = s.id;
+  });
+  EXPECT_NEAR(p.branch_prob(while_id), 0.98, 0.01);
+  EXPECT_NEAR(p.branch_prob(if_id), 0.37, 0.05);
+}
+
+TEST(Workloads, UnknownNameThrows) {
+  EXPECT_THROW(by_name("NOPE"), Error);
+}
+
+TEST(Workloads, TableOrderMatchesPaper) {
+  const auto all = table2_benchmarks();
+  ASSERT_EQ(all.size(), 6u);
+  EXPECT_EQ(all[0].name, "GCD");
+  EXPECT_EQ(all[1].name, "FIR");
+  EXPECT_EQ(all[2].name, "TEST2");
+  EXPECT_EQ(all[3].name, "SINTRAN");
+  EXPECT_EQ(all[4].name, "IGF");
+  EXPECT_EQ(all[5].name, "PPS");
+}
+
+}  // namespace
+}  // namespace fact::workloads

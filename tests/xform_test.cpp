@@ -1,0 +1,548 @@
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "sim/trace.hpp"
+#include "util/error.hpp"
+#include "xform/transform.hpp"
+
+namespace fact::xform {
+namespace {
+
+ir::Function parse(const std::string& src) { return lang::parse_function(src); }
+
+/// Applies one candidate and checks functional equivalence on a trace.
+void check_equiv(const Transform& t, const ir::Function& fn,
+                 const Candidate& c, const sim::TraceConfig& tc = {}) {
+  const ir::Function g = t.apply(fn, c);
+  const sim::Trace trace = sim::generate_trace(fn, tc, 13);
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, g, trace))
+      << c.describe() << "\nbefore:\n"
+      << fn.str() << "after:\n"
+      << g.str();
+}
+
+const ir::Stmt* first_assign(const ir::Function& fn) {
+  const ir::Stmt* found = nullptr;
+  fn.for_each([&](const ir::Stmt& s) {
+    if (!found && s.kind == ir::StmtKind::Assign) found = &s;
+  });
+  return found;
+}
+
+// ---- individual rewrites ----------------------------------------------
+
+TEST(Commutativity, SwapsOperands) {
+  const auto t = make_commutativity();
+  const auto fn = parse("F(int a, int b) { int x = a + b; output x; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  const ir::Function g = t->apply(fn, cands[0]);
+  EXPECT_EQ(first_assign(g)->value->str(), "(b + a)");
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(Commutativity, SkipsNonCommutativeAndIdentical) {
+  const auto t = make_commutativity();
+  const auto fn = parse("F(int a) { int x = a - 1; int y = a + a; output x; output y; }");
+  for (const auto& c : t->find(fn, {})) {
+    const ir::Function g = t->apply(fn, c);
+    EXPECT_NE(g.str(), fn.str());
+  }
+}
+
+TEST(Associativity, RotatesAndBalances) {
+  const auto t = make_associativity();
+  const auto fn = parse("F(int a, int b, int c, int d) { int x = ((a + b) + c) + d; output x; }");
+  const auto cands = t->find(fn, {});
+  bool saw_balance = false;
+  for (const auto& c : cands) {
+    if (c.variant == 2) {
+      const ir::Function g = t->apply(fn, c);
+      EXPECT_EQ(first_assign(g)->value->str(), "((a + b) + (c + d))");
+      saw_balance = true;
+    }
+    check_equiv(*t, fn, c);
+  }
+  EXPECT_TRUE(saw_balance);
+}
+
+TEST(Associativity, ChainVariantsOnlyAtRoot) {
+  const auto t = make_associativity();
+  const auto fn = parse("F(int a, int b, int c, int d) { int x = a + b + c + d; output x; }");
+  int balance_candidates = 0;
+  for (const auto& c : t->find(fn, {}))
+    if (c.variant == 2) balance_candidates++;
+  EXPECT_EQ(balance_candidates, 1);
+}
+
+TEST(AddSub, Example2Regrouping) {
+  // (y1 + y2) - (y3 + y4) must offer the (y1 - y3) + (y2 - y4) form that
+  // Example 2 of the paper uses to retarget adders to subtracters.
+  const auto t = make_addsub_reassociation();
+  const auto fn = parse(
+      "F(int y1, int y2, int y3, int y4) { int x = (y1 + y2) - (y3 + y4); output x; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  bool saw_paired = false;
+  for (const auto& c : cands) {
+    const ir::Function g = t->apply(fn, c);
+    if (first_assign(g)->value->str() == "((y1 - y3) + (y2 - y4))")
+      saw_paired = true;
+    check_equiv(*t, fn, c);
+  }
+  EXPECT_TRUE(saw_paired);
+}
+
+TEST(AddSub, HandlesAllNegativeTails) {
+  const auto t = make_addsub_reassociation();
+  const auto fn = parse("F(int a, int b, int c, int d) { int x = a - b - c - d; output x; }");
+  for (const auto& c : t->find(fn, {})) check_equiv(*t, fn, c);
+}
+
+TEST(Distributivity, FactorsCommonOperand) {
+  const auto t = make_distributivity();
+  const auto fn = parse("F(int a, int b, int c) { int x = a * b - a * c; output x; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  bool saw_factored = false;
+  for (const auto& c : cands) {
+    const ir::Function g = t->apply(fn, c);
+    if (first_assign(g)->value->str() == "(a * (b - c))") saw_factored = true;
+    check_equiv(*t, fn, c);
+  }
+  EXPECT_TRUE(saw_factored);
+}
+
+TEST(Distributivity, FactorsAnyOperandPosition) {
+  const auto t = make_distributivity();
+  const auto fn = parse("F(int a, int b, int c) { int x = b * a + c * a; output x; }");
+  bool found = false;
+  for (const auto& c : t->find(fn, {})) {
+    found = true;
+    check_equiv(*t, fn, c);
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Distributivity, ExpandsProducts) {
+  const auto t = make_distributivity();
+  const auto fn = parse("F(int a, int b, int c) { int x = a * (b + c); output x; }");
+  bool saw_expand = false;
+  for (const auto& c : t->find(fn, {})) {
+    if (c.variant >= 10) {
+      const ir::Function g = t->apply(fn, c);
+      EXPECT_EQ(first_assign(g)->value->str(), "((a * b) + (a * c))");
+      saw_expand = true;
+    }
+    check_equiv(*t, fn, c);
+  }
+  EXPECT_TRUE(saw_expand);
+}
+
+TEST(ConstFold, FoldsAndSimplifies) {
+  const auto t = make_constant_folding();
+  struct Case {
+    const char* src;
+    const char* expect;
+  } cases[] = {
+      {"F(int a) { int x = 2 + 3; output x; }", "5"},
+      {"F(int a) { int x = a + 0; output x; }", "a"},
+      {"F(int a) { int x = a * 1; output x; }", "a"},
+      {"F(int a) { int x = a * 0; output x; }", "0"},
+      {"F(int a) { int x = a - 0; output x; }", "a"},
+      {"F(int a) { int x = 1 ? a : 7; output x; }", "a"},
+      {"F(int a) { int x = a > 0 ? a : a; output x; }", "a"},
+  };
+  for (const auto& cs : cases) {
+    const auto fn = parse(cs.src);
+    const auto cands = t->find(fn, {});
+    ASSERT_FALSE(cands.empty()) << cs.src;
+    const ir::Function g = t->apply(fn, cands[0]);
+    EXPECT_EQ(first_assign(g)->value->str(), cs.expect) << cs.src;
+    check_equiv(*t, fn, cands[0]);
+  }
+}
+
+TEST(ConstProp, PropagatesUntilRedefinition) {
+  const auto t = make_constant_propagation();
+  const auto fn = parse(R"(
+F(int a) {
+  int k = 7;
+  int x = a + k;
+  k = a;
+  int y = a + k;
+  output x; output y;
+}
+)");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  const ir::Function g = t->apply(fn, cands[0]);
+  // x's use gets the constant; y's use (after k = a) does not.
+  bool x_const = false, y_var = false;
+  g.for_each([&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::Assign) return;
+    if (s.target == "x") x_const = s.value->str() == "(a + 7)";
+    if (s.target == "y") y_var = s.value->str() == "(a + k)";
+  });
+  EXPECT_TRUE(x_const);
+  EXPECT_TRUE(y_var);
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(ConstProp, DescendsIntoLoopsThatDoNotRedefine) {
+  const auto t = make_constant_propagation();
+  const auto fn = parse(R"(
+F(int n) {
+  int k = 3;
+  int i = 0;
+  int s = 0;
+  while (i < n) { s = s + k; i = i + 1; }
+  output s;
+}
+)");
+  for (const auto& c : t->find(fn, {})) check_equiv(*t, fn, c);
+}
+
+TEST(Licm, HoistsInvariantExpression) {
+  const auto t = make_code_motion();
+  const auto fn = parse(R"(
+F(int n, int a, int b) {
+  int i = 0;
+  int s = 0;
+  while (i < n) {
+    s = s + (a * b);
+    i = i + 1;
+  }
+  output s;
+}
+)");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  const ir::Function g = t->apply(fn, cands[0]);
+  // The multiply moved out: the loop body no longer contains a Mul.
+  bool mul_in_loop = false;
+  g.for_each([&](const ir::Stmt& s) {
+    if (s.kind != ir::StmtKind::While) return;
+    for (const auto& body : s.then_stmts)
+      for (const auto* slot : body->expr_slots())
+        ir::for_each_node(*slot, [&](const ir::ExprPtr& e) {
+          if (e->op() == ir::Op::Mul) mul_in_loop = true;
+        });
+  });
+  EXPECT_FALSE(mul_in_loop);
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(Licm, SkipsVariantExpressionsAndMemory) {
+  const auto t = make_code_motion();
+  const auto fn = parse(R"(
+F(int n) {
+  input int m[4];
+  int i = 0;
+  int s = 0;
+  while (i < n) {
+    s = s + m[i] + (s * 2);
+    i = i + 1;
+  }
+  output s;
+}
+)");
+  // Nothing hoistable: m[i] reads memory, s*2 is loop-variant.
+  for (const auto& c : t->find(fn, {})) {
+    // Any candidate that does exist must still be safe.
+    check_equiv(*t, fn, c);
+  }
+}
+
+TEST(Unroll, PartialFactorsPreserveSemantics) {
+  const auto t = make_loop_unrolling();
+  const auto fn = parse(R"(
+F(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  output a;
+}
+)");
+  sim::TraceConfig tc;
+  tc.params["a"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 40, 0};
+  tc.params["b"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 40, 0};
+  for (const auto& c : t->find(fn, {})) {
+    if (c.variant == 100) continue;  // not statically counted
+    check_equiv(*t, fn, c, tc);
+  }
+}
+
+TEST(Unroll, FullUnrollOfCountedLoop) {
+  const auto t = make_loop_unrolling();
+  const auto fn = parse(R"(
+F(int a) {
+  int s = 0;
+  int k = 7;
+  while (k >= 0) {
+    s = s + a;
+    k = k - 1;
+  }
+  output s; output k;
+}
+)");
+  const auto cands = t->find(fn, {});
+  bool saw_full = false;
+  for (const auto& c : cands) {
+    if (c.variant != 100) continue;
+    saw_full = true;
+    const ir::Function g = t->apply(fn, c);
+    bool has_while = false;
+    g.for_each([&](const ir::Stmt& s) {
+      if (s.kind == ir::StmtKind::While) has_while = true;
+    });
+    EXPECT_FALSE(has_while);
+    check_equiv(*t, fn, c);
+  }
+  EXPECT_TRUE(saw_full);
+}
+
+TEST(Unroll, NoFullUnrollForDataDependentLoop) {
+  const auto t = make_loop_unrolling();
+  const auto fn = parse("F(int n) { int i = 0; while (i < n) { i = i + 1; } }");
+  for (const auto& c : t->find(fn, {})) EXPECT_NE(c.variant, 100);
+}
+
+TEST(Unroll, NoFullUnrollBeyondTripCap) {
+  const auto t = make_loop_unrolling();
+  const auto fn = parse("F() { int i = 0; while (i < 100) { i = i + 1; } }");
+  for (const auto& c : t->find(fn, {})) EXPECT_NE(c.variant, 100);
+}
+
+TEST(Speculate, ConvertsBranchesToSelects) {
+  const auto t = make_speculation();
+  const auto fn = parse(R"(
+F(int a, int b) {
+  int x = 0;
+  if (a > b) { int t1 = a + 7; x = t1 * 2; } else { x = b; }
+  output x;
+}
+)");
+  const auto cands = t->find(fn, {});
+  ASSERT_EQ(cands.size(), 1u);
+  const ir::Function g = t->apply(fn, cands[0]);
+  bool has_if = false;
+  g.for_each([&](const ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::If) has_if = true;
+  });
+  EXPECT_FALSE(has_if);
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(Speculate, CrossAssignedVariablesReadPreBranchValues) {
+  const auto t = make_speculation();
+  // Both branches permute (a, b): the selects must read old values.
+  const auto fn = parse(R"(
+F(int a, int b) {
+  if (a > b) { int t = a; a = b; b = t; } else { a = a + b; b = a; }
+  output a; output b;
+}
+)");
+  const auto cands = t->find(fn, {});
+  ASSERT_EQ(cands.size(), 1u);
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(Speculate, SkipsBranchesWithStoresOrControl) {
+  const auto t = make_speculation();
+  const auto fn = parse(R"(
+F(int a) {
+  int m[4];
+  if (a > 0) { m[0] = a; }
+  if (a > 1) { while (a > 0) { a = a - 1; } }
+  output a;
+}
+)");
+  EXPECT_TRUE(t->find(fn, {}).empty());
+}
+
+TEST(SelectFuse, SameConditionPairsArms) {
+  const auto t = make_select_fusion();
+  const auto fn = parse(
+      "F(int c, int a, int b, int u, int v) { int x = (c > 0 ? a : b) - (c > 0 ? u : v); output x; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  const ir::Function g = t->apply(fn, cands[0]);
+  EXPECT_EQ(first_assign(g)->value->str(), "((c > 0) ? (a - u) : (b - v))");
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(SelectFuse, ComplementaryConditionsCrossPair) {
+  const auto t = make_select_fusion();
+  const auto fn = parse(
+      "F(int c, int a, int b, int u, int v) { int x = (c > 0 ? a : b) + (c <= 0 ? u : v); output x; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  EXPECT_EQ(cands[0].variant, 1);
+  const ir::Function g = t->apply(fn, cands[0]);
+  EXPECT_EQ(first_assign(g)->value->str(), "((c > 0) ? (a + v) : (b + u))");
+  check_equiv(*t, fn, cands[0]);
+}
+
+TEST(SelectFuse, UnrelatedConditionsRejected) {
+  const auto t = make_select_fusion();
+  const auto fn = parse(
+      "F(int c, int d, int a, int b) { int x = (c > 0 ? a : b) + (d > 0 ? b : a); output x; }");
+  EXPECT_TRUE(t->find(fn, {}).empty());
+}
+
+TEST(SelectHoist, HoistAndSinkRoundTrip) {
+  const auto t = make_select_hoisting();
+  const auto fn = parse(
+      "F(int c, int a, int b, int z) { int x = (c > 0 ? a : b) * z; output x; }");
+  const auto cands = t->find(fn, {});
+  ASSERT_FALSE(cands.empty());
+  const ir::Function hoisted = t->apply(fn, cands[0]);
+  EXPECT_EQ(first_assign(hoisted)->value->str(),
+            "((c > 0) ? (a * z) : (b * z))");
+  check_equiv(*t, fn, cands[0]);
+  // The hoisted form must offer a sink candidate that returns to a select
+  // feeding one multiplier.
+  const auto sink_cands = t->find(hoisted, {});
+  bool saw_sink = false;
+  for (const auto& c : sink_cands) {
+    if (c.variant < 10) continue;
+    const ir::Function sunk = t->apply(hoisted, c);
+    if (first_assign(sunk)->value->str() == "(((c > 0) ? a : b) * z)")
+      saw_sink = true;
+  }
+  EXPECT_TRUE(saw_sink);
+}
+
+// ---- Example 3 of the paper: distributivity across basic blocks --------
+
+TEST(CrossBlock, Example3PatternReduces) {
+  // After speculation the two joins become selects steered by the same
+  // condition; fusing then factoring yields one multiply behind a select,
+  // exactly Figure 4(b)'s effect (3 cycles -> 2 on one multiplier).
+  auto lib = TransformLibrary::standard();
+  const auto fn = parse(R"(
+F(int c, int x1, int x2, int x3, int x4, int x5) {
+  int p = 0;
+  int q = 0;
+  if (c > 0) { p = x1 * x2; q = x1 * x3; } else { p = x4; q = x5; }
+  int out = p - q;
+  output out;
+}
+)");
+  const sim::Trace trace = sim::generate_trace(fn, {}, 17);
+
+  // speculate -> select-fuse -> distribute.
+  ir::Function cur = fn.clone();
+  const auto apply_first = [&](const char* name) {
+    const Transform* t = lib.find_transform(name);
+    const auto cands = t->find(cur, {});
+    ASSERT_FALSE(cands.empty()) << name;
+    cur = t->apply(cur, cands[0]);
+    ASSERT_TRUE(sim::equivalent_on_trace(fn, cur, trace)) << name;
+  };
+  apply_first("speculate");
+  // Forward-substitute p and q into `out = p - q` to expose the two
+  // selects to fusion.
+  apply_first("fwdsub");
+  apply_first("fwdsub");
+  apply_first("select-fuse");
+  // Count multiplies in the fused select arms before factoring.
+  const Transform* dist = lib.find_transform("distribute");
+  const auto dcands = dist->find(cur, {});
+  ASSERT_FALSE(dcands.empty());
+  cur = dist->apply(cur, dcands[0]);
+  EXPECT_TRUE(sim::equivalent_on_trace(fn, cur, trace));
+  // Remove the now-dead p/q definitions left by substitution.
+  const Transform* dce = lib.find_transform("dce");
+  for (auto cands = dce->find(cur, {}); !cands.empty();
+       cands = dce->find(cur, {})) {
+    cur = dce->apply(cur, cands[0]);
+    ASSERT_TRUE(sim::equivalent_on_trace(fn, cur, trace));
+  }
+  // After factoring, the then-arm computes x1 * (x2 - x3): one multiply.
+  size_t muls = 0;
+  cur.for_each([&](const ir::Stmt& s) {
+    for (const auto* slot : s.expr_slots())
+      ir::for_each_node(*slot, [&](const ir::ExprPtr& e) {
+        if (e->op() == ir::Op::Mul) muls++;
+      });
+  });
+  EXPECT_EQ(muls, 1u);
+}
+
+// ---- property tests: every transform preserves semantics ---------------
+
+class AllTransformsEquivalence
+    : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(AllTransformsEquivalence, EveryCandidatePreservesBehavior) {
+  const auto fn = parse(GetParam());
+  sim::TraceConfig tc;
+  tc.executions = 12;
+  const sim::Trace trace = sim::generate_trace(fn, tc, 29);
+  const auto lib = TransformLibrary::standard();
+  size_t applied = 0;
+  for (const auto& t : lib.transforms()) {
+    for (const auto& c : t->find(fn, {})) {
+      const ir::Function g = t->apply(fn, c);
+      EXPECT_TRUE(sim::equivalent_on_trace(fn, g, trace))
+          << c.describe() << "\n"
+          << g.str();
+      applied++;
+      // Second-order: apply one more random-ish transform on top.
+      if (applied % 3 == 0) {
+        for (const auto& t2 : lib.transforms()) {
+          const auto c2s = t2->find(g, {});
+          if (c2s.empty()) continue;
+          const ir::Function g2 = t2->apply(g, c2s[c2s.size() / 2]);
+          EXPECT_TRUE(sim::equivalent_on_trace(fn, g2, trace))
+              << c.describe() << " then " << c2s[c2s.size() / 2].describe();
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(applied, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Programs, AllTransformsEquivalence,
+    ::testing::Values(
+        // Arithmetic-heavy straight line.
+        "F(int a, int b, int c) { int x = a * b + a * c - (b + c); int y = x + x * 2 + 3 * x; output x; output y; }",
+        // Conditionals with shared subexpressions.
+        "F(int a, int b) { int x = 0; if (a > b) { x = a * b; } else { x = a + b; } int y = x * 2; output y; }",
+        // Counted loop with invariant and array traffic.
+        "F(int k) { input int m[8]; int s = 0; int i = 0; while (i < 8) { s = s + m[i] * (k + 1); i = i + 1; } output s; }",
+        // Nested control flow.
+        "F(int a, int b) { int i = 0; int s = 0; while (i < 6) { if (a > b) { s = s + a; } else { s = s - b; } i = i + 1; } output s; }",
+        // Selects in expressions.
+        "F(int c, int a, int b) { int x = (c > 2 ? a : b) * (c > 2 ? b : a); output x; }",
+        // Constants everywhere.
+        "F(int a) { int k = 4; int x = k * 2 + a * 1 + 0; int y = x - 0 + 5 * k; output y; }"));
+
+TEST(Library, StandardContainsPaperSuite) {
+  const auto lib = TransformLibrary::standard();
+  for (const char* name :
+       {"commute", "reassoc", "addsub", "distribute", "constfold", "constprop",
+        "licm", "unroll", "speculate", "select-fuse", "select-hoist"})
+    EXPECT_NE(lib.find_transform(name), nullptr) << name;
+  EXPECT_THROW(lib.apply(parse("F() { }"), Candidate{"nope", 0, 0, {}, 0}),
+               Error);
+}
+
+TEST(Library, FindAllAggregatesAndRespectsRegion) {
+  const auto lib = TransformLibrary::standard();
+  const auto fn = parse("F(int a, int b) { int x = a + b; int y = b + a; output x; output y; }");
+  const auto all = lib.find_all(fn, {});
+  EXPECT_GT(all.size(), 1u);
+  // Restrict to only the first assignment's id.
+  const int first_id = first_assign(fn)->id;
+  const auto restricted = lib.find_all(fn, {first_id});
+  EXPECT_LT(restricted.size(), all.size());
+  for (const auto& c : restricted) EXPECT_EQ(c.stmt_id, first_id);
+}
+
+}  // namespace
+}  // namespace fact::xform

@@ -1,0 +1,213 @@
+// factc — command-line driver for the FACT framework.
+//
+//   factc <source.fact> [options]
+//   factc --benchmark GCD [options]
+//
+// Options:
+//   --objective throughput|power   optimization goal (default throughput)
+//   --method fact|flamel|m1|all    which method(s) to run (default fact)
+//   --alloc a1=2,sb1=1,...         allocation constraint (default: 2 of each)
+//   --clock <ns>                   clock period (default 25)
+//   --seed <n>                     trace seed (default 7)
+//   --no-fuse                      disable concurrent-loop fusion (RTL-exact)
+//   --emit-verilog <file>          write the optimized design's Verilog
+//   --emit-stg <file>              write the optimized design's STG (DOT)
+//   --emit-cdfg <file>             write the behavior's CDFG (DOT)
+//   --binding                      print the datapath binding report
+//   --quiet                        only the summary line
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "bind/binding.hpp"
+#include "cdfg/cdfg.hpp"
+#include "lang/parser.hpp"
+#include "opt/baselines.hpp"
+#include "opt/fact.hpp"
+#include "rtl/verilog.hpp"
+#include "util/error.hpp"
+#include "workloads/workloads.hpp"
+
+namespace {
+
+using namespace fact;
+
+struct Args {
+  std::string source_path;
+  std::string benchmark;
+  std::string objective = "throughput";
+  std::string method = "fact";
+  std::string alloc_spec;
+  std::string emit_verilog, emit_stg, emit_cdfg;
+  double clock_ns = 25.0;
+  uint64_t seed = 7;
+  bool no_fuse = false;
+  bool binding = false;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) fprintf(stderr, "factc: %s\n", msg);
+  fprintf(stderr,
+          "usage: factc <source.fact> | --benchmark <NAME>\n"
+          "  [--objective throughput|power] [--method fact|flamel|m1|all]\n"
+          "  [--alloc a1=2,sb1=1,...] [--clock <ns>] [--seed <n>] [--no-fuse]\n"
+          "  [--emit-verilog <f>] [--emit-stg <f>] [--emit-cdfg <f>]\n"
+          "  [--binding] [--quiet]\n");
+  exit(2);
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--benchmark") a.benchmark = next();
+    else if (arg == "--objective") a.objective = next();
+    else if (arg == "--method") a.method = next();
+    else if (arg == "--alloc") a.alloc_spec = next();
+    else if (arg == "--clock") a.clock_ns = std::stod(next());
+    else if (arg == "--seed") a.seed = std::stoull(next());
+    else if (arg == "--no-fuse") a.no_fuse = true;
+    else if (arg == "--emit-verilog") a.emit_verilog = next();
+    else if (arg == "--emit-stg") a.emit_stg = next();
+    else if (arg == "--emit-cdfg") a.emit_cdfg = next();
+    else if (arg == "--binding") a.binding = true;
+    else if (arg == "--quiet") a.quiet = true;
+    else if (arg == "--help" || arg == "-h") usage();
+    else if (!arg.empty() && arg[0] == '-') usage(("unknown option " + arg).c_str());
+    else if (a.source_path.empty()) a.source_path = arg;
+    else usage("multiple source files");
+  }
+  if (a.source_path.empty() == a.benchmark.empty())
+    usage("provide exactly one of <source.fact> or --benchmark");
+  return a;
+}
+
+hlslib::Allocation parse_alloc(const std::string& spec,
+                               const hlslib::Library& lib) {
+  hlslib::Allocation alloc;
+  if (spec.empty()) {
+    for (const auto& t : lib.types()) alloc.counts[t.name] = 2;
+    return alloc;
+  }
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos) usage("bad --alloc entry (want fu=count)");
+    const std::string name = item.substr(0, eq);
+    if (!lib.find(name)) usage(("unknown FU type " + name).c_str());
+    alloc.counts[name] = std::stoi(item.substr(eq + 1));
+  }
+  return alloc;
+}
+
+void write_file(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  out << text;
+  printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+
+    // Load the behavior + context.
+    const hlslib::Library lib = hlslib::Library::dac98();
+    const hlslib::FuSelection sel = hlslib::FuSelection::defaults(lib);
+    ir::Function fn("");
+    hlslib::Allocation alloc;
+    sim::TraceConfig traces;
+    if (!args.benchmark.empty()) {
+      workloads::Workload w = workloads::by_name(args.benchmark);
+      fn = std::move(w.fn);
+      alloc = args.alloc_spec.empty() ? w.allocation
+                                      : parse_alloc(args.alloc_spec, lib);
+      traces = w.trace;
+    } else {
+      std::ifstream in(args.source_path);
+      if (!in) throw Error("cannot open " + args.source_path);
+      std::stringstream buf;
+      buf << in.rdbuf();
+      fn = lang::parse_function(buf.str());
+      alloc = parse_alloc(args.alloc_spec, lib);
+    }
+
+    sched::SchedOptions so;
+    so.clock_ns = args.clock_ns;
+    so.fuse_loops = !args.no_fuse;
+    const power::PowerOptions po;
+
+    if (!args.emit_cdfg.empty())
+      write_file(args.emit_cdfg, cdfg::Cdfg::from_function(fn).dot(fn.name()));
+
+    const bool all = args.method == "all";
+    auto line = [&](const char* tag, double len, double power, size_t n) {
+      printf("%-7s avg length %10.2f cycles | throughput %8.3f (x1000/cyc) "
+             "| power %8.3f | %zu transform(s)\n",
+             tag, len, 1000.0 / len, power, n);
+    };
+
+    if (all || args.method == "m1") {
+      const auto r = opt::run_m1(fn, lib, alloc, sel, traces, so, po, args.seed);
+      line("M1", r.avg_len, r.power_nominal.power, 0);
+    }
+    if (all || args.method == "flamel") {
+      const auto r =
+          opt::run_flamel(fn, lib, alloc, sel, traces, so, po, args.seed);
+      line("Flamel", r.avg_len, r.power_nominal.power, r.applied.size());
+    }
+    if (all || args.method == "fact") {
+      opt::FactOptions fo;
+      fo.sched = so;
+      fo.power = po;
+      fo.seed = args.seed;
+      fo.objective = args.objective == "power" ? opt::Objective::Power
+                                               : opt::Objective::Throughput;
+      if (args.objective != "power" && args.objective != "throughput")
+        usage("bad --objective");
+      const auto xf = xform::TransformLibrary::standard();
+      const opt::FactResult r =
+          opt::run_fact(fn, lib, alloc, sel, traces, xf, fo);
+      line("FACT", r.final_avg_len, r.final_power.power, r.applied.size());
+      if (!args.quiet) {
+        printf("\nbaseline (untransformed): %.2f cycles, %.3f power\n",
+               r.initial_avg_len, r.initial_power.power);
+        if (fo.objective == opt::Objective::Power)
+          printf("scaled Vdd: %.2f V (iso-throughput with the baseline)\n",
+                 r.final_power.vdd);
+        printf("\ntransforms applied:\n");
+        for (const auto& t : r.applied) printf("  %s\n", t.c_str());
+        printf("\ntransformed behavior:\n%s", r.optimized.str().c_str());
+      }
+      if (args.binding) {
+        const bind::Binding b =
+            bind::bind_datapath(r.schedule.stg, lib, alloc);
+        printf("\n%s", b.report(lib).c_str());
+      }
+      if (!args.emit_stg.empty())
+        write_file(args.emit_stg, r.schedule.stg.dot(fn.name()));
+      if (!args.emit_verilog.empty()) {
+        if (!r.schedule.rtl_exact)
+          fprintf(stderr,
+                  "factc: note: schedule uses fused concurrent loops; the "
+                  "Verilog preview is metrics-grade (re-run with --no-fuse "
+                  "for RTL-exact output)\n");
+        write_file(args.emit_verilog, rtl::emit_verilog(fn, r.schedule.stg));
+      }
+    }
+    return 0;
+  } catch (const fact::Error& e) {
+    fprintf(stderr, "factc: error: %s\n", e.what());
+    return 1;
+  }
+}
