@@ -25,6 +25,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/lang/CMakeFiles/fact_lang.dir/DependInfo.cmake"
   "/root/repo/build/src/ir/CMakeFiles/fact_ir.dir/DependInfo.cmake"
   "/root/repo/build/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/fact_verify.dir/DependInfo.cmake"
   )
 
 # Fortran module output directory.

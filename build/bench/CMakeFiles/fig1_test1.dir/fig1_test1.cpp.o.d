@@ -158,19 +158,19 @@ bench/CMakeFiles/fig1_test1.dir/fig1_test1.cpp.o: \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/bench/bench_util.hpp \
  /root/repo/src/opt/baselines.hpp /root/repo/src/opt/engine.hpp \
- /usr/include/c++/12/set /usr/include/c++/12/bits/stl_tree.h \
+ /usr/include/c++/12/map /usr/include/c++/12/bits/stl_tree.h \
  /usr/include/c++/12/ext/aligned_buffer.h \
  /usr/include/c++/12/bits/node_handle.h \
+ /usr/include/c++/12/bits/stl_map.h /usr/include/c++/12/tuple \
+ /usr/include/c++/12/bits/uses_allocator.h \
+ /usr/include/c++/12/bits/stl_multimap.h \
+ /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/set \
  /usr/include/c++/12/bits/stl_set.h \
- /usr/include/c++/12/bits/stl_multiset.h \
- /usr/include/c++/12/bits/erase_if.h /usr/include/c++/12/vector \
+ /usr/include/c++/12/bits/stl_multiset.h /usr/include/c++/12/vector \
  /usr/include/c++/12/bits/stl_uninitialized.h \
  /usr/include/c++/12/bits/stl_vector.h \
  /usr/include/c++/12/bits/stl_bvector.h \
  /usr/include/c++/12/bits/vector.tcc /root/repo/src/power/power.hpp \
- /usr/include/c++/12/map /usr/include/c++/12/bits/stl_map.h \
- /usr/include/c++/12/tuple /usr/include/c++/12/bits/uses_allocator.h \
- /usr/include/c++/12/bits/stl_multimap.h \
  /root/repo/src/hlslib/library.hpp /usr/include/c++/12/optional \
  /usr/include/c++/12/bits/enable_special_members.h \
  /root/repo/src/ir/expr.hpp /usr/include/c++/12/functional \
@@ -246,6 +246,7 @@ bench/CMakeFiles/fig1_test1.dir/fig1_test1.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/verify/verify.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/xform/transform.hpp /root/repo/src/opt/fact.hpp \
- /root/repo/src/opt/partition.hpp /root/repo/src/util/error.hpp \
- /root/repo/src/workloads/workloads.hpp /root/repo/src/cdfg/cdfg.hpp
+ /root/repo/src/opt/partition.hpp /root/repo/src/workloads/workloads.hpp \
+ /root/repo/src/cdfg/cdfg.hpp

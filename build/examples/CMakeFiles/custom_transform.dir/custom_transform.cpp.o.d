@@ -243,5 +243,6 @@ examples/CMakeFiles/custom_transform.dir/custom_transform.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/verify/verify.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/xform/transform.hpp /root/repo/src/opt/partition.hpp \
- /root/repo/src/xform/expr_transform.hpp /root/repo/src/util/error.hpp
+ /root/repo/src/xform/expr_transform.hpp

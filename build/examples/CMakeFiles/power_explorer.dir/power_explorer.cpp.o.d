@@ -243,5 +243,6 @@ examples/CMakeFiles/power_explorer.dir/power_explorer.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/verify/verify.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/xform/transform.hpp /root/repo/src/opt/partition.hpp \
  /root/repo/src/workloads/workloads.hpp

@@ -19,6 +19,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/sched/CMakeFiles/fact_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/power/CMakeFiles/fact_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/fact_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/xform/CMakeFiles/fact_xform.dir/DependInfo.cmake"
   "/root/repo/build/src/stg/CMakeFiles/fact_stg.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/fact_sim.dir/DependInfo.cmake"

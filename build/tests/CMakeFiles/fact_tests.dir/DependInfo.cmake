@@ -12,6 +12,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/cdfg_test.cpp" "tests/CMakeFiles/fact_tests.dir/cdfg_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/cdfg_test.cpp.o.d"
   "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/fact_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/cli_test.cpp.o.d"
   "/root/repo/tests/dataflow_xform_test.cpp" "tests/CMakeFiles/fact_tests.dir/dataflow_xform_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/dataflow_xform_test.cpp.o.d"
+  "/root/repo/tests/faultinject_test.cpp" "tests/CMakeFiles/fact_tests.dir/faultinject_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/faultinject_test.cpp.o.d"
   "/root/repo/tests/fuselect_test.cpp" "tests/CMakeFiles/fact_tests.dir/fuselect_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/fuselect_test.cpp.o.d"
   "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fact_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/fuzz_test.cpp.o.d"
   "/root/repo/tests/hlslib_test.cpp" "tests/CMakeFiles/fact_tests.dir/hlslib_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/hlslib_test.cpp.o.d"
@@ -29,6 +30,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/fact_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/sim_test.cpp.o.d"
   "/root/repo/tests/stg_test.cpp" "tests/CMakeFiles/fact_tests.dir/stg_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/stg_test.cpp.o.d"
   "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/fact_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/fact_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/verify_test.cpp.o.d"
   "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/fact_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/workloads_test.cpp.o.d"
   "/root/repo/tests/xform_test.cpp" "tests/CMakeFiles/fact_tests.dir/xform_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/xform_test.cpp.o.d"
   )
@@ -39,6 +41,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/workloads/CMakeFiles/fact_workloads.dir/DependInfo.cmake"
   "/root/repo/build/src/sched/CMakeFiles/fact_sched.dir/DependInfo.cmake"
   "/root/repo/build/src/power/CMakeFiles/fact_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/verify/CMakeFiles/fact_verify.dir/DependInfo.cmake"
   "/root/repo/build/src/xform/CMakeFiles/fact_xform.dir/DependInfo.cmake"
   "/root/repo/build/src/cdfg/CMakeFiles/fact_cdfg.dir/DependInfo.cmake"
   "/root/repo/build/src/rtl/CMakeFiles/fact_rtl.dir/DependInfo.cmake"

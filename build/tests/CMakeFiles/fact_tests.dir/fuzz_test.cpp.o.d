@@ -293,14 +293,14 @@ tests/CMakeFiles/fact_tests.dir/fuzz_test.cpp.o: \
  /root/miniconda/include/gtest/gtest_prod.h \
  /root/miniconda/include/gtest/gtest-typed-test.h \
  /root/miniconda/include/gtest/gtest_pred_impl.h \
- /root/repo/tests/program_gen.hpp /root/repo/src/ir/function.hpp \
- /root/repo/src/ir/stmt.hpp /root/repo/src/ir/expr.hpp \
- /root/repo/src/rtl/sim.hpp /root/repo/src/rtl/plan.hpp \
- /root/repo/src/stg/stg.hpp /root/repo/src/sim/interp.hpp \
- /root/repo/src/sched/scheduler.hpp /root/repo/src/hlslib/library.hpp \
+ /root/repo/src/opt/engine.hpp /root/repo/src/power/power.hpp \
+ /root/repo/src/hlslib/library.hpp /root/repo/src/ir/expr.hpp \
+ /root/repo/src/stg/stg.hpp /root/repo/src/sched/scheduler.hpp \
+ /root/repo/src/ir/function.hpp /root/repo/src/ir/stmt.hpp \
  /root/repo/src/sched/region.hpp /root/repo/src/sim/trace.hpp \
- /root/repo/src/util/rng.hpp /usr/include/c++/12/cmath \
- /usr/include/math.h /usr/include/x86_64-linux-gnu/bits/math-vector.h \
+ /root/repo/src/sim/interp.hpp /root/repo/src/util/rng.hpp \
+ /usr/include/c++/12/cmath /usr/include/math.h \
+ /usr/include/x86_64-linux-gnu/bits/math-vector.h \
  /usr/include/x86_64-linux-gnu/bits/libm-simd-decl-stubs.h \
  /usr/include/x86_64-linux-gnu/bits/flt-eval-method.h \
  /usr/include/x86_64-linux-gnu/bits/fp-logb.h \
@@ -321,4 +321,7 @@ tests/CMakeFiles/fact_tests.dir/fuzz_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
- /root/repo/src/xform/transform.hpp
+ /root/repo/src/verify/verify.hpp /root/repo/src/util/error.hpp \
+ /root/repo/src/xform/transform.hpp /root/repo/tests/program_gen.hpp \
+ /root/repo/src/rtl/sim.hpp /root/repo/src/rtl/plan.hpp \
+ /root/repo/src/verify/fault_injector.hpp

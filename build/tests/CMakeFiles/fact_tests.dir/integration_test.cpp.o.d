@@ -321,5 +321,6 @@ tests/CMakeFiles/fact_tests.dir/integration_test.cpp.o: \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/verify/verify.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/xform/transform.hpp /root/repo/src/opt/fact.hpp \
  /root/repo/src/opt/partition.hpp /root/repo/src/workloads/workloads.hpp

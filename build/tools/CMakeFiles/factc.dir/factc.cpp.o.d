@@ -249,6 +249,7 @@ tools/CMakeFiles/factc.dir/factc.cpp.o: /root/repo/tools/factc.cpp \
  /usr/include/c++/12/tr1/poly_hermite.tcc \
  /usr/include/c++/12/tr1/poly_laguerre.tcc \
  /usr/include/c++/12/tr1/riemann_zeta.tcc \
+ /root/repo/src/verify/verify.hpp /root/repo/src/util/error.hpp \
  /root/repo/src/xform/transform.hpp /root/repo/src/opt/fact.hpp \
  /root/repo/src/opt/partition.hpp /root/repo/src/rtl/verilog.hpp \
- /root/repo/src/util/error.hpp /root/repo/src/workloads/workloads.hpp
+ /root/repo/src/workloads/workloads.hpp

@@ -112,6 +112,15 @@ void Function::validate() const {
   if (scalar_names.size() != params_.size())
     throw Error("duplicate parameter name");
 
+  // Statement ids must be unique: profiles, optimizer regions, and
+  // transformation candidates are all keyed by them.
+  std::set<int> ids;
+  for_each([&](const Stmt& s) {
+    if (s.id >= 0 && !ids.insert(s.id).second)
+      throw Error("duplicate statement id " + std::to_string(s.id) + " in '" +
+                  name_ + "'");
+  });
+
   auto check_expr = [&](const ExprPtr& e) {
     for_each_node(e, [&](const ExprPtr& n) {
       if (n->op() == Op::ArrayRead && !array_names.count(n->name()))

@@ -1,7 +1,9 @@
 #include "opt/engine.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
+#include <typeinfo>
 #include <unordered_set>
 
 #include "util/error.hpp"
@@ -47,6 +49,15 @@ Evaluation TransformEngine::evaluate(const ir::Function& fn,
   sched::Scheduler scheduler(lib_, alloc_, sel_, sched_opts_);
   const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
 
+  // Full validation: the schedule must be structurally sound and legal
+  // under the allocation before its metrics are trusted.
+  if (opts_.validate == verify::Level::Full) {
+    verify::Report rep = verify::verify_stg(sr.stg, opts_.validate);
+    if (rep.ok())
+      rep = verify::verify_schedule(fn, sr.stg, lib_, alloc_, opts_.validate);
+    verify::check_or_throw(rep);
+  }
+
   Evaluation ev;
   ev.avg_len = stg::average_schedule_length(sr.stg);
   if (objective == Objective::Power) {
@@ -74,24 +85,79 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
                                        const std::set<int>& region,
                                        double baseline_len) const {
   Rng rng(opts_.seed);
+  const auto start_time = std::chrono::steady_clock::now();
 
-  EngineResult result{fn.clone(), {}, {}, {}, 0, 0};
+  EngineResult result;
+  result.best = fn.clone();
 
-  auto evaluate_member = [&](Member& m) {
-    result.evaluations++;
-    try {
-      m.eval = evaluate(m.fn, trace, objective, baseline_len);
-    } catch (const Error&) {
-      // A transform can push a behavior outside the allocation's reach
-      // (e.g. folding a counter comparison into a datapath one); such
-      // candidates simply lose.
-      m.eval = Evaluation{};
-      m.eval.score = 1e30;
+  // Reads-before-def present in the *input* behavior are legal (registers
+  // read as 0); candidates may not enlarge the set.
+  const std::set<std::string> baseline_undef =
+      opts_.validate == verify::Level::Off ? std::set<std::string>{}
+                                           : verify::undefined_reads(fn);
+
+  auto out_of_budget = [&]() {
+    if (result.truncated) return true;
+    if (opts_.max_evaluations > 0 &&
+        result.evaluations >= opts_.max_evaluations) {
+      result.truncated = true;
+      return true;
+    }
+    if (opts_.deadline_ms > 0.0) {
+      const double elapsed_ms =
+          std::chrono::duration<double, std::milli>(
+              std::chrono::steady_clock::now() - start_time)
+              .count();
+      if (elapsed_ms >= opts_.deadline_ms) {
+        result.truncated = true;
+        return true;
+      }
+    }
+    return false;
+  };
+
+  auto quarantine = [&](const char* pass, std::string failure_class,
+                        std::string message,
+                        const std::vector<std::string>& transforms) {
+    result.quarantined++;
+    result.quarantine_by_class[failure_class]++;
+    if (result.quarantine.size() < opts_.quarantine_log_cap) {
+      QuarantineRecord rec;
+      rec.pass = pass;
+      rec.failure_class = std::move(failure_class);
+      rec.message = std::move(message);
+      rec.transforms = transforms;
+      result.quarantine.push_back(std::move(rec));
     }
   };
 
+  // Transactional evaluation: any failure — allocation infeasibility,
+  // scheduler non-convergence, verifier rejection of the schedule, or an
+  // arbitrary exception — quarantines the member with a diagnostic
+  // instead of aborting the search.
+  auto evaluate_member = [&](Member& m) -> bool {
+    result.evaluations++;
+    try {
+      m.eval = evaluate(m.fn, trace, objective, baseline_len);
+      return true;
+    } catch (const verify::VerifyError& e) {
+      quarantine("evaluate", e.report().ok() ? "verify" : e.report().first_check(),
+                 e.what(), m.applied);
+    } catch (const Error& e) {
+      // e.g. a transform pushed the behavior outside the allocation's
+      // reach, or the scheduler could not converge under the clock.
+      quarantine("evaluate", "schedule-error", e.what(), m.applied);
+    } catch (const std::exception& e) {
+      quarantine("evaluate", strfmt("exception:%s", typeid(e).name()),
+                 e.what(), m.applied);
+    }
+    m.eval = Evaluation{};
+    m.eval.score = 1e30;
+    return false;
+  };
+
   Member root{fn.clone(), region, {}, {}};
-  evaluate_member(root);
+  const bool root_ok = evaluate_member(root);
   result.best_eval = root.eval;
 
   // Structural dedup across the whole run.
@@ -102,17 +168,20 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   std::vector<Member> in_set;
   in_set.push_back(std::move(root));
 
+  int accepted = 0;  // candidates that survived every gate
   double best_score = result.best_eval.score;
-  for (int outer = 0; outer < opts_.max_outer_iters; ++outer) {
+  for (int outer = 0;
+       outer < opts_.max_outer_iters && !out_of_budget(); ++outer) {
     const double k = opts_.k0 + opts_.k_step * outer;
     const double score_before = best_score;
 
-    for (int move = 0; move < opts_.max_moves; ++move) {
+    for (int move = 0; move < opts_.max_moves && !out_of_budget(); ++move) {
       std::vector<Member> behavior_set;
 
       // Neighborhood generation: every candidate transformation of every
       // population member (statement 6 of Figure 6).
       for (const Member& g : in_set) {
+        if (out_of_budget()) break;
         std::vector<xform::Candidate> cands =
             xforms_.find_all(g.fn, g.region);
         // Deterministic shuffle so the evaluation budget samples the
@@ -123,16 +192,54 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
 
         for (const auto& c : cands) {
           if (behavior_set.size() >= opts_.max_neighbors_eval) break;
-          ir::Function transformed = [&]() -> ir::Function {
-            return xforms_.apply(g.fn, c);
-          }();
+          if (out_of_budget()) break;
+
+          std::vector<std::string> seq = g.applied;
+          seq.push_back(c.describe());
+
+          // Gate 1: the rewrite itself. A transform implementation may
+          // throw anything; the candidate is quarantined, never the run.
+          ir::Function transformed;
+          try {
+            transformed = xforms_.apply(g.fn, c);
+          } catch (const Error& e) {
+            quarantine("apply", "apply-error", e.what(), seq);
+            continue;
+          } catch (const std::exception& e) {
+            quarantine("apply", strfmt("exception:%s", typeid(e).name()),
+                       e.what(), seq);
+            continue;
+          }
+
+          // Gate 2: deep IR invariants, before dedup so that even a
+          // corruption that leaves the rendered text unchanged (e.g. a
+          // duplicated statement id) is caught and accounted for.
+          if (opts_.validate != verify::Level::Off) {
+            const verify::Report rep = verify::verify_function(
+                transformed, opts_.validate, &baseline_undef);
+            if (!rep.ok()) {
+              quarantine("verify", rep.first_check(), rep.str(), seq);
+              continue;
+            }
+          }
+
           const size_t h = hasher(transformed.str());
           if (!seen.insert(h).second) continue;
 
-          if (opts_.verify_equivalence &&
-              !sim::equivalent_on_trace(fn, transformed, trace)) {
-            result.rejected_nonequivalent++;
-            continue;
+          // Gate 3: observable behavior must match the original.
+          if (opts_.verify_equivalence) {
+            bool equivalent = false;
+            try {
+              equivalent = sim::equivalent_on_trace(fn, transformed, trace);
+            } catch (const std::exception& e) {
+              quarantine("equivalence", "simulation-error", e.what(), seq);
+              continue;
+            }
+            if (!equivalent) {
+              result.rejected_nonequivalent++;
+              quarantine("equivalence", "nonequivalent", c.describe(), seq);
+              continue;
+            }
           }
 
           Member m;
@@ -144,17 +251,21 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
               if (!parent_ids.count(id)) m.region.insert(id);
           }
           m.fn = std::move(transformed);
-          m.applied = g.applied;
-          m.applied.push_back(c.describe());
+          m.applied = std::move(seq);
           behavior_set.push_back(std::move(m));
         }
       }
       if (behavior_set.empty()) break;
 
-      // Assess efficacy: reschedule + estimate (statements 8-10).
+      // Assess efficacy: reschedule + estimate (statements 8-10). Members
+      // whose evaluation fails are quarantined and drop out of the
+      // population.
+      std::vector<Member> evaluated;
+      evaluated.reserve(behavior_set.size());
       for (Member& m : behavior_set) {
+        if (out_of_budget()) break;
         if (opts_.reschedule_in_loop) {
-          evaluate_member(m);
+          if (!evaluate_member(m)) continue;
         } else {
           // Ablation: schedule-blind search scores by static op count.
           size_t ops = 0;
@@ -164,13 +275,17 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
           });
           m.eval.score = static_cast<double>(ops);
         }
+        accepted++;
         if (m.eval.score < best_score) {
           best_score = m.eval.score;
           result.best = m.fn.clone();
           result.best_eval = m.eval;
           result.applied = m.applied;
         }
+        evaluated.push_back(std::move(m));
       }
+      behavior_set = std::move(evaluated);
+      if (behavior_set.empty()) break;
 
       // Rank decreasing gain = increasing score; select a fixed-size
       // subset with P(rank) ~ e^(-k * rank).
@@ -218,9 +333,26 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   }
 
   // If the schedule-blind ablation was used, the recorded eval lacks real
-  // metrics; evaluate the winner properly once.
-  if (!opts_.reschedule_in_loop)
-    result.best_eval = evaluate(result.best, trace, objective, baseline_len);
+  // metrics; evaluate the winner properly once. A winner that fails this
+  // final evaluation is abandoned in favor of the baseline.
+  if (!opts_.reschedule_in_loop && accepted > 0) {
+    try {
+      result.best_eval = evaluate(result.best, trace, objective, baseline_len);
+    } catch (const std::exception& e) {
+      quarantine("evaluate", "final-evaluation", e.what(), result.applied);
+      result.best = fn.clone();
+      result.applied.clear();
+      result.best_eval = Evaluation{};
+      result.best_eval.score = 1e30;
+      accepted = 0;
+    }
+  }
+
+  // Graceful degradation: when the whole neighborhood was quarantined or
+  // rejected, the engine falls back to the (already validated or at least
+  // unmodified) baseline design rather than failing the run.
+  result.degraded_to_baseline =
+      accepted == 0 && (result.quarantined > 0 || !root_ok);
 
   return result;
 }

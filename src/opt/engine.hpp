@@ -1,5 +1,6 @@
 #pragma once
 
+#include <map>
 #include <set>
 #include <string>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "sched/scheduler.hpp"
 #include "sim/trace.hpp"
 #include "util/rng.hpp"
+#include "verify/verify.hpp"
 #include "xform/transform.hpp"
 
 namespace fact::opt {
@@ -29,6 +31,30 @@ struct EngineOptions {
   uint64_t seed = 1;
   bool reschedule_in_loop = true;    // ablation: schedule-guided selection
   bool verify_equivalence = true;    // simulate candidates vs. the original
+
+  /// Invariant checking per candidate. Fast runs the structural IR checks
+  /// on every applied rewrite before it can enter the population; Full
+  /// additionally verifies every candidate's schedule (STG structure and
+  /// legality against the allocation) inside evaluate().
+  verify::Level validate = verify::Level::Fast;
+  /// Wall-clock budget for one optimize() call in milliseconds; when
+  /// exhausted the search stops and returns best-so-far with
+  /// EngineResult::truncated set. 0 = unlimited.
+  double deadline_ms = 0.0;
+  /// Evaluation-count budget (schedule+estimate invocations); same
+  /// best-so-far / truncated contract. 0 = unlimited.
+  int max_evaluations = 0;
+  /// At most this many structured quarantine records are kept (counters
+  /// always cover every quarantined candidate).
+  size_t quarantine_log_cap = 64;
+};
+
+/// Why and where a candidate was quarantined instead of evaluated.
+struct QuarantineRecord {
+  std::string pass;           // apply | verify | equivalence | evaluate
+  std::string failure_class;  // verifier check name or exception class
+  std::string message;        // diagnostic detail
+  std::vector<std::string> transforms;  // sequence ending at the failure
 };
 
 struct Evaluation {
@@ -44,7 +70,21 @@ struct EngineResult {
   std::vector<std::string> applied;      // winning transform sequence
   std::vector<double> score_trace;       // best score after each generation
   int evaluations = 0;                   // schedule+estimate invocations
-  int rejected_nonequivalent = 0;        // candidates failing verification
+  int rejected_nonequivalent = 0;        // candidates failing trace equivalence
+
+  /// Candidates removed by the transactional evaluation wrapper (failed
+  /// apply, verifier rejection, equivalence failure, or an exception while
+  /// scheduling/estimating). Counters cover every quarantined candidate;
+  /// `quarantine` keeps the first quarantine_log_cap structured records.
+  int quarantined = 0;
+  std::map<std::string, int> quarantine_by_class;
+  std::vector<QuarantineRecord> quarantine;
+  /// True when the deadline/evaluation budget expired and the result is
+  /// best-so-far rather than a converged search.
+  bool truncated = false;
+  /// True when not a single candidate survived the gauntlet: the engine
+  /// gracefully fell back to the untransformed baseline design.
+  bool degraded_to_baseline = false;
 };
 
 /// The transformation-application engine of Section 4.2: population search
@@ -66,6 +106,8 @@ class TransformEngine {
                         double baseline_len) const;
 
   /// Schedules and evaluates one function (used standalone by benches).
+  /// At EngineOptions::validate == Full, throws verify::VerifyError when
+  /// the produced schedule fails structural or legality checks.
   Evaluation evaluate(const ir::Function& fn, const sim::Trace& trace,
                       Objective objective, double baseline_len) const;
 

@@ -43,11 +43,21 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                                       blocks[b].stmt_ids,
                                       result.initial_avg_len);
     result.evaluations += er.evaluations;
+    result.quarantined += er.quarantined;
+    for (const auto& [cls, n] : er.quarantine_by_class)
+      result.quarantine_by_class[cls] += n;
+    if (er.degraded_to_baseline) result.blocks_degraded++;
+    if (er.truncated) result.truncated = true;
     result.log.push_back(
         strfmt("block %zu (weight %.3f, %zu stmts): %zu transform(s), "
                "score %.4f after %d evaluations",
                b, blocks[b].weight, blocks[b].stmt_ids.size(),
                er.applied.size(), er.best_eval.score, er.evaluations));
+    if (er.quarantined > 0)
+      result.log.push_back(strfmt(
+          "block %zu: %d candidate(s) quarantined%s%s", b, er.quarantined,
+          er.degraded_to_baseline ? "; degraded to baseline" : "",
+          er.truncated ? "; budget exhausted (best-so-far)" : ""));
     for (const auto& a : er.applied)
       result.applied.push_back(strfmt("block%zu: %s", b, a.c_str()));
     current = std::move(er.best);

@@ -32,6 +32,12 @@ struct FactResult {
   std::vector<std::string> applied;   // transform sequence
   std::vector<std::string> log;       // human-readable flow narration
   int evaluations = 0;
+
+  // Robustness accounting aggregated over all per-block engine runs:
+  int quarantined = 0;                // candidates removed by any gate
+  std::map<std::string, int> quarantine_by_class;
+  int blocks_degraded = 0;            // blocks that fell back to baseline
+  bool truncated = false;             // some block hit the deadline budget
 };
 
 /// Runs the full FACT flow on a behavior:

@@ -99,6 +99,10 @@ class Emitter {
     fn_name_ = fn.name();
     RegionPtr tree = build_region_tree(fn);
     std::vector<Attach> outs = emit_seq(*tree, {});
+    if (opts_.max_states > 0 && stg_.num_states() > opts_.max_states)
+      throw Error(strfmt(
+          "schedule for '%s' exploded to %zu states (max_states %zu)",
+          fn_name_.c_str(), stg_.num_states(), opts_.max_states));
     if (stg_.num_states() == 0) {
       const int idle = stg_.add_state("idle");
       stg_.add_edge(idle, idle, 1.0, "", /*exec_boundary=*/true);

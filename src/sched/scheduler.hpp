@@ -25,6 +25,11 @@ struct SchedOptions {
   int max_ii = 64;             // give up pipelining past this II
   size_t max_fused = 4;        // at most this many loops fused at once
   int max_hyperperiod = 64;    // fused-phase schedule table size cap
+  /// Pathological-schedule guard: abort (fact::Error) when emission
+  /// produces more states than this. Downstream STG analysis is O(n^3) in
+  /// the state count, so a runaway candidate (e.g. an over-unrolled loop)
+  /// would otherwise hang the whole optimization loop. 0 = unlimited.
+  size_t max_states = 100000;
 };
 
 /// What the scheduler decided for one loop (for reports and benches).

@@ -38,6 +38,26 @@ void Stg::validate() const {
   if (entry_ < 0 || static_cast<size_t>(entry_) >= states_.size())
     throw Error("STG entry state out of range");
 
+  // Out-edge lists must agree exactly with the edge table: every edge is
+  // indexed once, by its own from-state. A mismatch means some mutation
+  // bypassed add_edge and every downstream analysis would silently skew.
+  std::vector<int> indexed(edges_.size(), 0);
+  for (size_t i = 0; i < states_.size(); ++i) {
+    for (int ei : states_[i].out_edges) {
+      if (ei < 0 || static_cast<size_t>(ei) >= edges_.size())
+        throw Error("STG state '" + states_[i].name +
+                    "' indexes a nonexistent edge");
+      if (edges_[static_cast<size_t>(ei)].from != static_cast<int>(i))
+        throw Error("STG state '" + states_[i].name +
+                    "' lists an edge leaving a different state");
+      indexed[static_cast<size_t>(ei)]++;
+    }
+  }
+  for (size_t ei = 0; ei < edges_.size(); ++ei)
+    if (indexed[ei] != 1)
+      throw Error(strfmt("STG edge %zu appears %d time(s) in out-edge lists",
+                         ei, indexed[ei]));
+
   bool has_boundary = false;
   for (size_t i = 0; i < states_.size(); ++i) {
     const State& s = states_[i];

@@ -54,6 +54,14 @@ using TransformPtr = std::unique_ptr<Transform>;
 /// User-defined transforms can be added, as the paper advertises.
 class TransformLibrary {
  public:
+  TransformLibrary() = default;
+  TransformLibrary(TransformLibrary&&) = default;
+  TransformLibrary& operator=(TransformLibrary&&) = default;
+  /// Polymorphic: enumeration and application are virtual so wrappers (the
+  /// fault-injection harness, instrumented libraries) can intercept them
+  /// behind the `const TransformLibrary&` the engine holds.
+  virtual ~TransformLibrary() = default;
+
   /// The full default suite.
   static TransformLibrary standard();
   /// Basic-block-local subset: the algebraic transforms only (used by the
@@ -65,11 +73,11 @@ class TransformLibrary {
   const Transform* find_transform(const std::string& name) const;
 
   /// All candidates of all transforms in the region.
-  std::vector<Candidate> find_all(const ir::Function& fn,
-                                  const std::set<int>& region) const;
+  virtual std::vector<Candidate> find_all(const ir::Function& fn,
+                                          const std::set<int>& region) const;
 
   /// Applies a candidate by dispatching on its transform name.
-  ir::Function apply(const ir::Function& fn, const Candidate& c) const;
+  virtual ir::Function apply(const ir::Function& fn, const Candidate& c) const;
 
  private:
   std::vector<TransformPtr> transforms_;

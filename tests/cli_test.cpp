@@ -85,4 +85,46 @@ TEST(Cli, InfeasibleAllocationDiagnosed) {
   EXPECT_NE(r.output.find("error"), std::string::npos);
 }
 
+TEST(Cli, NonPositiveAllocCountRejected) {
+  const CliResult zero = run_cli("--benchmark GCD --alloc a1=0");
+  EXPECT_EQ(zero.exit_code, 1) << zero.output;
+  EXPECT_NE(zero.output.find("must be positive"), std::string::npos);
+  const CliResult neg = run_cli("--benchmark GCD --alloc sb1=-2");
+  EXPECT_EQ(neg.exit_code, 1) << neg.output;
+  EXPECT_NE(neg.output.find("must be positive"), std::string::npos);
+  const CliResult junk = run_cli("--benchmark GCD --alloc a1=two");
+  EXPECT_EQ(junk.exit_code, 1) << junk.output;
+}
+
+TEST(Cli, BadNumericValuesExitCleanly) {
+  // Malformed numbers must produce exit code 1 with a diagnostic, never
+  // an uncaught exception / abort (which would exit 134).
+  const CliResult clock = run_cli("--benchmark GCD --clock bogus");
+  EXPECT_EQ(clock.exit_code, 1) << clock.output;
+  EXPECT_NE(clock.output.find("bad numeric value"), std::string::npos);
+  const CliResult seed = run_cli("--benchmark GCD --seed 12x");
+  EXPECT_EQ(seed.exit_code, 1) << seed.output;
+  const CliResult deadline = run_cli("--benchmark GCD --deadline-ms -5");
+  EXPECT_EQ(deadline.exit_code, 1) << deadline.output;
+}
+
+TEST(Cli, ValidateFlag) {
+  const CliResult full = run_cli("--benchmark GCD --validate full --quiet");
+  EXPECT_EQ(full.exit_code, 0) << full.output;
+  const CliResult off = run_cli("--benchmark GCD --validate=off --quiet");
+  EXPECT_EQ(off.exit_code, 0) << off.output;
+  const CliResult bad = run_cli("--benchmark GCD --validate bogus");
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("bad validation level"), std::string::npos);
+}
+
+TEST(Cli, DeadlineReportsBestSoFar) {
+  // A sub-millisecond budget truncates the search immediately; the driver
+  // still reports a complete result plus the best-so-far note.
+  const CliResult r = run_cli("--benchmark GCD --deadline-ms 0.001 --quiet");
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("FACT"), std::string::npos);
+  EXPECT_NE(r.output.find("best-so-far"), std::string::npos);
+}
+
 }  // namespace

@@ -1,0 +1,365 @@
+// Unit tests of the deep invariant verifier (src/verify): hand-corrupted
+// IR, STGs, and schedules must each be flagged with the right check name,
+// and legitimate designs must pass untouched.
+
+#include <gtest/gtest.h>
+
+#include "lang/parser.hpp"
+#include "sched/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "verify/verify.hpp"
+
+namespace fact::verify {
+namespace {
+
+ir::Function parse(const std::string& src) { return lang::parse_function(src); }
+
+bool has_check(const Report& r, const std::string& name) {
+  for (const auto& i : r.issues)
+    if (i.check == name) return true;
+  return false;
+}
+
+const char* kGcd = R"(
+GCD(int a, int b) {
+  while (a != b) {
+    if (a > b) { a = a - b; } else { b = b - a; }
+  }
+  output a;
+}
+)";
+
+// ---- levels and reports -------------------------------------------------
+
+TEST(VerifyLevel, ParsesAndRejects) {
+  EXPECT_EQ(level_from_string("off"), Level::Off);
+  EXPECT_EQ(level_from_string("fast"), Level::Fast);
+  EXPECT_EQ(level_from_string("full"), Level::Full);
+  EXPECT_THROW(level_from_string("bogus"), Error);
+  EXPECT_STREQ(to_string(Level::Full), "full");
+}
+
+TEST(VerifyReport, RendersAndThrows) {
+  Report ok;
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.first_check(), "");
+  EXPECT_NO_THROW(check_or_throw(ok));
+
+  Report bad;
+  bad.issues.push_back({"ir.shape", "something broke"});
+  bad.issues.push_back({"ir.arrays", "something else"});
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(bad.first_check(), "ir.shape");
+  EXPECT_NE(bad.str().find("ir.shape: something broke"), std::string::npos);
+  try {
+    check_or_throw(bad);
+    FAIL() << "check_or_throw did not throw";
+  } catch (const VerifyError& e) {
+    EXPECT_EQ(e.report().issues.size(), 2u);
+    EXPECT_NE(std::string(e.what()).find("ir.arrays"), std::string::npos);
+  }
+}
+
+// ---- IR checks ----------------------------------------------------------
+
+TEST(VerifyFunction, CleanFunctionPasses) {
+  const ir::Function fn = parse(kGcd);
+  EXPECT_TRUE(verify_function(fn, Level::Full).ok());
+  EXPECT_TRUE(verify_function(fn, Level::Fast).ok());
+}
+
+TEST(VerifyFunction, OffSkipsEverything) {
+  ir::Function fn = parse(kGcd);
+  fn.for_each([&](ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::While) s.then_stmts.clear();
+  });
+  EXPECT_TRUE(verify_function(fn, Level::Off).ok());
+  EXPECT_FALSE(verify_function(fn, Level::Fast).ok());
+}
+
+TEST(VerifyFunction, DuplicateStmtIdFlagged) {
+  ir::Function fn = parse(kGcd);
+  int first_id = -1;
+  ir::Stmt* last = nullptr;
+  fn.for_each([&](ir::Stmt& s) {
+    if (first_id < 0) first_id = s.id;
+    last = &s;
+  });
+  ASSERT_NE(last, nullptr);
+  last->id = first_id;
+  const Report r = verify_function(fn, Level::Fast);
+  EXPECT_TRUE(has_check(r, "ir.stmt-id-unique")) << r.str();
+  // The thin ir-level validator now rejects this too.
+  EXPECT_THROW(fn.validate(), Error);
+}
+
+TEST(VerifyFunction, UnassignedStmtIdFlagged) {
+  ir::Function fn = parse(kGcd);
+  fn.body()->stmts.front()->id = -1;
+  const Report r = verify_function(fn, Level::Fast);
+  EXPECT_TRUE(has_check(r, "ir.stmt-id-assigned")) << r.str();
+}
+
+TEST(VerifyFunction, EmptyLoopBodyFlagged) {
+  ir::Function fn = parse(kGcd);
+  fn.for_each([&](ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::While) s.then_stmts.clear();
+  });
+  const Report r = verify_function(fn, Level::Fast);
+  EXPECT_TRUE(has_check(r, "ir.empty-loop")) << r.str();
+}
+
+TEST(VerifyFunction, UndeclaredArrayFlagged) {
+  ir::Function fn = parse(kGcd);
+  fn.body()->stmts.push_back(ir::Stmt::assign(
+      "t", ir::Expr::array_read("nope", ir::Expr::constant(0))));
+  fn.assign_fresh_ids();
+  const Report r = verify_function(fn, Level::Fast);
+  EXPECT_TRUE(has_check(r, "ir.arrays")) << r.str();
+}
+
+TEST(VerifyFunction, GuardExclusionFlagged) {
+  ir::Function fn = parse(kGcd);
+  // Alias the else-branch statement's id to the then-branch statement's:
+  // the same id becomes reachable under both polarities of the guard.
+  ir::Stmt* guard = nullptr;
+  fn.for_each([&](ir::Stmt& s) {
+    if (s.kind == ir::StmtKind::If) guard = &s;
+  });
+  ASSERT_NE(guard, nullptr);
+  ASSERT_FALSE(guard->then_stmts.empty());
+  ASSERT_FALSE(guard->else_stmts.empty());
+  guard->else_stmts.front()->id = guard->then_stmts.front()->id;
+  const Report r = verify_function(fn, Level::Fast);
+  EXPECT_TRUE(has_check(r, "ir.guard-exclusion")) << r.str();
+}
+
+TEST(VerifyFunction, DifferentialDefBeforeUse) {
+  ir::Function fn = parse(kGcd);
+  fn.body()->stmts.push_back(
+      ir::Stmt::assign("q", ir::Expr::var("neverdef")));
+  fn.assign_fresh_ids();
+
+  // Without a baseline set the check is skipped (reading a never-written
+  // register as 0 is legal hardware behavior).
+  EXPECT_FALSE(has_check(verify_function(fn, Level::Full), "ir.def-before-use"));
+
+  const std::set<std::string> empty_allowed;
+  EXPECT_TRUE(has_check(verify_function(fn, Level::Full, &empty_allowed),
+                        "ir.def-before-use"));
+
+  const std::set<std::string> allowed = {"neverdef"};
+  EXPECT_FALSE(has_check(verify_function(fn, Level::Full, &allowed),
+                         "ir.def-before-use"));
+}
+
+TEST(UndefinedReads, BranchAndLoopMustDefineAnalysis) {
+  // if (a > 0) { y = 1 } else { z = 2 }  -> neither y nor z is surely
+  // defined afterwards; w = y + z reads both as maybe-undefined.
+  ir::Function fn("U");
+  fn.add_param("a");
+  std::vector<ir::StmtPtr> then_b, else_b, body;
+  then_b.push_back(ir::Stmt::assign("y", ir::Expr::constant(1)));
+  else_b.push_back(ir::Stmt::assign("z", ir::Expr::constant(2)));
+  body.push_back(ir::Stmt::if_stmt(
+      ir::Expr::binary(ir::Op::Gt, ir::Expr::var("a"), ir::Expr::constant(0)),
+      std::move(then_b), std::move(else_b)));
+  body.push_back(ir::Stmt::assign(
+      "w", ir::Expr::binary(ir::Op::Add, ir::Expr::var("y"),
+                            ir::Expr::var("z"))));
+  fn.set_body(ir::Stmt::block(std::move(body)));
+  fn.add_output("w");
+  const std::set<std::string> undef = undefined_reads(fn);
+  EXPECT_EQ(undef, (std::set<std::string>{"y", "z"}));
+
+  // Loop bodies may run zero times: defs inside do not reach the code
+  // after the loop, but parameters are always defined.
+  const ir::Function loop_fn = parse(R"(
+F(int n) {
+  while (n > 0) { int t = n; n = n - 1; }
+  int q = t;
+  output q;
+}
+)");
+  const std::set<std::string> loop_undef = undefined_reads(loop_fn);
+  EXPECT_TRUE(loop_undef.count("t"));
+  EXPECT_FALSE(loop_undef.count("n"));
+}
+
+// ---- STG checks ---------------------------------------------------------
+
+stg::Stg small_stg() {
+  stg::Stg g;
+  const int s0 = g.add_state("S0");
+  const int s1 = g.add_state("S1");
+  g.add_edge(s0, s1, 0.7, "T");
+  g.add_edge(s0, s0, 0.3, "F");
+  g.state(s0).cond_signal = "w0";
+  g.add_edge(s1, s0, 1.0, "", /*exec_boundary=*/true);
+  g.set_entry(s0);
+  return g;
+}
+
+TEST(VerifyStg, CleanStgPasses) {
+  EXPECT_TRUE(verify_stg(small_stg(), Level::Full).ok());
+}
+
+TEST(VerifyStg, BadProbabilitySumFlagged) {
+  stg::Stg g = small_stg();
+  g.edge(0).prob = 0.5;  // 0.5 + 0.3 != 1
+  EXPECT_TRUE(has_check(verify_stg(g), "stg.prob"));
+}
+
+TEST(VerifyStg, OutOfRangeProbabilityFlagged) {
+  stg::Stg g = small_stg();
+  g.edge(0).prob = 1.4;
+  g.edge(1).prob = -0.4;
+  EXPECT_TRUE(has_check(verify_stg(g), "stg.prob"));
+}
+
+TEST(VerifyStg, MissingCondSignalFlagged) {
+  stg::Stg g = small_stg();
+  g.state(0).cond_signal.clear();
+  EXPECT_TRUE(has_check(verify_stg(g), "stg.deterministic"));
+}
+
+TEST(VerifyStg, UnreachableStateFlagged) {
+  stg::Stg g = small_stg();
+  const int orphan = g.add_state("orphan");
+  g.add_edge(orphan, orphan, 1.0);
+  EXPECT_TRUE(has_check(verify_stg(g), "stg.reachable"));
+}
+
+TEST(VerifyStg, MissingBoundaryFlagged) {
+  stg::Stg g = small_stg();
+  for (size_t i = 0; i < g.num_edges(); ++i)
+    g.edge(static_cast<int>(i)).exec_boundary = false;
+  EXPECT_TRUE(has_check(verify_stg(g), "stg.boundary"));
+}
+
+TEST(VerifyStg, CorruptOutEdgeListFlagged) {
+  stg::Stg g = small_stg();
+  g.state(1).out_edges.push_back(99);  // nonexistent edge index
+  EXPECT_TRUE(has_check(verify_stg(g), "stg.edges"));
+
+  stg::Stg g2 = small_stg();
+  g2.state(1).out_edges.push_back(0);  // edge 0 leaves state 0, not 1
+  EXPECT_TRUE(has_check(verify_stg(g2), "stg.edges"));
+  // The stg-level validator rejects the same corruption.
+  EXPECT_THROW(g2.validate(), Error);
+}
+
+// ---- schedule legality --------------------------------------------------
+
+stg::OpInstance mk_op(const std::string& fu, const std::string& wire,
+                      std::vector<std::string> operands = {},
+                      const std::string& array = "") {
+  stg::OpInstance op;
+  op.fu_type = fu;
+  op.op = ir::Op::Add;
+  op.stmt_id = -1;  // not tied to an IR statement
+  op.label = "+";
+  op.value_name = wire;
+  op.operands = std::move(operands);
+  op.array = array;
+  return op;
+}
+
+struct SchedFixture {
+  ir::Function fn = parse("F(int a) { int x = a + a; output x; }");
+  hlslib::Library lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  stg::Stg g;
+
+  SchedFixture() {
+    alloc.counts = {{"a1", 1}, {"mem", 1}};
+    const int s0 = g.add_state("S0");
+    g.add_edge(s0, s0, 1.0, "", /*exec_boundary=*/true);
+    g.set_entry(s0);
+  }
+
+  Report verify(Level level = Level::Full) const {
+    return verify_schedule(fn, g, lib, alloc, level);
+  }
+};
+
+TEST(VerifySchedule, ResourceOverflowFlagged) {
+  SchedFixture f;
+  f.g.state(0).ops.push_back(mk_op("a1", "w1"));
+  EXPECT_TRUE(f.verify().ok());
+  f.g.state(0).ops.push_back(mk_op("a1", "w2"));  // 2 adders, 1 allocated
+  EXPECT_TRUE(has_check(f.verify(), "sched.resources"));
+}
+
+TEST(VerifySchedule, MemoryPortOverflowFlagged) {
+  SchedFixture f;
+  f.g.state(0).ops.push_back(mk_op("", "w1", {}, "m"));
+  EXPECT_TRUE(f.verify().ok());
+  f.g.state(0).ops.push_back(mk_op("", "w2", {}, "m"));  // 2nd port on 'm'
+  EXPECT_TRUE(has_check(f.verify(), "sched.resources"));
+}
+
+TEST(VerifySchedule, MissingStmtIdFlagged) {
+  SchedFixture f;
+  stg::OpInstance op = mk_op("a1", "w1");
+  op.stmt_id = 999;  // no such statement in fn
+  f.g.state(0).ops.push_back(std::move(op));
+  EXPECT_TRUE(has_check(f.verify(), "sched.stmt-ids"));
+}
+
+TEST(VerifySchedule, MissingResultWireFlagged) {
+  SchedFixture f;
+  f.g.state(0).ops.push_back(mk_op("a1", ""));
+  EXPECT_TRUE(has_check(f.verify(), "sched.wires"));
+}
+
+TEST(VerifySchedule, DuplicateWireInOneStateFlagged) {
+  SchedFixture f;
+  f.g.state(0).ops.push_back(mk_op("a1", "w1"));
+  stg::OpInstance op = mk_op("", "w1");  // same net driven twice this cycle
+  f.g.state(0).ops.push_back(std::move(op));
+  EXPECT_TRUE(has_check(f.verify(), "sched.wires"));
+}
+
+TEST(VerifySchedule, UndefinedWireOperandFlaggedAtFullOnly) {
+  SchedFixture f;
+  f.g.state(0).ops.push_back(mk_op("a1", "w1", {"w9", "a"}));
+  EXPECT_TRUE(has_check(f.verify(Level::Full), "sched.wires"));
+  EXPECT_TRUE(f.verify(Level::Fast).ok());
+}
+
+TEST(VerifySchedule, ChainingOrderFlaggedOutsideRings) {
+  SchedFixture f;
+  // Consumer before its same-cycle producer.
+  f.g.state(0).ops.push_back(mk_op("a1", "w1", {"w2"}));
+  f.g.state(0).ops.push_back(mk_op("", "w2"));
+  EXPECT_TRUE(has_check(f.verify(), "sched.chaining"));
+  // Kernel rings read the previous traversal's wires: exempt.
+  f.g.state(0).ring_id = 0;
+  EXPECT_FALSE(has_check(f.verify(), "sched.chaining"));
+}
+
+TEST(VerifySchedule, RealSchedulesPassAllLevels) {
+  const ir::Function fn = parse(kGcd);
+  sim::TraceConfig tc;
+  tc.params["a"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 60, 0};
+  tc.params["b"] = {sim::InputSpec::Kind::Uniform, 0, 0, 0, 1, 60, 0};
+  const sim::Trace trace = sim::generate_trace(fn, tc, 5);
+  const sim::Profile profile = sim::profile_function(fn, trace);
+  const auto lib = hlslib::Library::dac98();
+  hlslib::Allocation alloc;
+  for (const auto& t : lib.types()) alloc.counts[t.name] = 2;
+  for (const bool fuse : {true, false}) {
+    sched::SchedOptions so;
+    so.fuse_loops = fuse;
+    sched::Scheduler sch(lib, alloc, hlslib::FuSelection::defaults(lib), so);
+    const sched::ScheduleResult sr = sch.schedule(fn, profile);
+    const Report rs = verify_stg(sr.stg, Level::Full);
+    EXPECT_TRUE(rs.ok()) << rs.str();
+    const Report rl = verify_schedule(fn, sr.stg, lib, alloc, Level::Full);
+    EXPECT_TRUE(rl.ok()) << rl.str();
+  }
+}
+
+}  // namespace
+}  // namespace fact::verify

@@ -1,0 +1,18 @@
+#!/usr/bin/env sh
+# Robustness gate: build the whole tree with AddressSanitizer + UBSan and
+# run the full test suite (including the fault-injection and verifier
+# tests) under it. Usage:
+#
+#   tools/check.sh [build-dir]
+#
+# The sanitized tree lives in its own build directory (default
+# build-asan) so the regular build stays untouched.
+set -eu
+
+repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
+build_dir=${1:-"$repo_root/build-asan"}
+
+cmake -S "$repo_root" -B "$build_dir" -DFACT_SANITIZE=ON
+cmake --build "$build_dir" -j "$(nproc)"
+ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure
+echo "check.sh: sanitized suite passed"

@@ -9,6 +9,8 @@
 //   --alloc a1=2,sb1=1,...         allocation constraint (default: 2 of each)
 //   --clock <ns>                   clock period (default 25)
 //   --seed <n>                     trace seed (default 7)
+//   --validate off|fast|full       per-candidate invariant checking (fast)
+//   --deadline-ms <n>              per-block search budget; best-so-far
 //   --no-fuse                      disable concurrent-loop fusion (RTL-exact)
 //   --emit-verilog <file>          write the optimized design's Verilog
 //   --emit-stg <file>              write the optimized design's STG (DOT)
@@ -28,6 +30,7 @@
 #include "opt/fact.hpp"
 #include "rtl/verilog.hpp"
 #include "util/error.hpp"
+#include "verify/verify.hpp"
 #include "workloads/workloads.hpp"
 
 namespace {
@@ -40,8 +43,10 @@ struct Args {
   std::string objective = "throughput";
   std::string method = "fact";
   std::string alloc_spec;
+  std::string validate = "fast";
   std::string emit_verilog, emit_stg, emit_cdfg;
   double clock_ns = 25.0;
+  double deadline_ms = 0.0;
   uint64_t seed = 7;
   bool no_fuse = false;
   bool binding = false;
@@ -54,16 +59,51 @@ struct Args {
           "usage: factc <source.fact> | --benchmark <NAME>\n"
           "  [--objective throughput|power] [--method fact|flamel|m1|all]\n"
           "  [--alloc a1=2,sb1=1,...] [--clock <ns>] [--seed <n>] [--no-fuse]\n"
+          "  [--validate off|fast|full] [--deadline-ms <n>]\n"
           "  [--emit-verilog <f>] [--emit-stg <f>] [--emit-cdfg <f>]\n"
           "  [--binding] [--quiet]\n");
   exit(2);
 }
 
+double parse_double(const std::string& text, const std::string& opt) {
+  try {
+    size_t pos = 0;
+    const double v = std::stod(text, &pos);
+    if (pos != text.size()) throw Error("");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("bad numeric value '" + text + "' for " + opt);
+  }
+}
+
+uint64_t parse_u64(const std::string& text, const std::string& opt) {
+  try {
+    size_t pos = 0;
+    const uint64_t v = std::stoull(text, &pos);
+    if (pos != text.size() || text[0] == '-') throw Error("");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("bad numeric value '" + text + "' for " + opt);
+  }
+}
+
 Args parse_args(int argc, char** argv) {
   Args a;
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    std::string arg = argv[i];
+    // Accept both "--opt value" and "--opt=value".
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline = true;
+        arg = arg.substr(0, eq);
+      }
+    }
     auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
       if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
       return argv[++i];
     };
@@ -71,8 +111,10 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--objective") a.objective = next();
     else if (arg == "--method") a.method = next();
     else if (arg == "--alloc") a.alloc_spec = next();
-    else if (arg == "--clock") a.clock_ns = std::stod(next());
-    else if (arg == "--seed") a.seed = std::stoull(next());
+    else if (arg == "--clock") a.clock_ns = parse_double(next(), arg);
+    else if (arg == "--seed") a.seed = parse_u64(next(), arg);
+    else if (arg == "--validate") a.validate = next();
+    else if (arg == "--deadline-ms") a.deadline_ms = parse_double(next(), arg);
     else if (arg == "--no-fuse") a.no_fuse = true;
     else if (arg == "--emit-verilog") a.emit_verilog = next();
     else if (arg == "--emit-stg") a.emit_stg = next();
@@ -103,7 +145,19 @@ hlslib::Allocation parse_alloc(const std::string& spec,
     if (eq == std::string::npos) usage("bad --alloc entry (want fu=count)");
     const std::string name = item.substr(0, eq);
     if (!lib.find(name)) usage(("unknown FU type " + name).c_str());
-    alloc.counts[name] = std::stoi(item.substr(eq + 1));
+    const std::string count_text = item.substr(eq + 1);
+    int count = 0;
+    try {
+      size_t pos = 0;
+      count = std::stoi(count_text, &pos);
+      if (pos != count_text.size()) throw Error("");
+    } catch (const std::exception&) {
+      throw Error("bad --alloc count '" + count_text + "' for " + name);
+    }
+    if (count <= 0)
+      throw Error("--alloc count for " + name + " must be positive (got " +
+                  count_text + ")");
+    alloc.counts[name] = count;
   }
   return alloc;
 }
@@ -175,10 +229,24 @@ int main(int argc, char** argv) {
                                                : opt::Objective::Throughput;
       if (args.objective != "power" && args.objective != "throughput")
         usage("bad --objective");
+      fo.engine.validate = verify::level_from_string(args.validate);
+      if (args.deadline_ms < 0) throw Error("--deadline-ms must be >= 0");
+      fo.engine.deadline_ms = args.deadline_ms;
       const auto xf = xform::TransformLibrary::standard();
       const opt::FactResult r =
           opt::run_fact(fn, lib, alloc, sel, traces, xf, fo);
       line("FACT", r.final_avg_len, r.final_power.power, r.applied.size());
+      if (r.truncated)
+        printf("note: search budget exhausted; result is best-so-far\n");
+      if (!args.quiet && r.quarantined > 0) {
+        printf("quarantined %d candidate(s):", r.quarantined);
+        for (const auto& [cls, n] : r.quarantine_by_class)
+          printf(" %s=%d", cls.c_str(), n);
+        printf("\n");
+        if (r.blocks_degraded > 0)
+          printf("%d block(s) degraded to the baseline design\n",
+                 r.blocks_degraded);
+      }
       if (!args.quiet) {
         printf("\nbaseline (untransformed): %.2f cycles, %.3f power\n",
                r.initial_avg_len, r.initial_power.power);
@@ -208,6 +276,11 @@ int main(int argc, char** argv) {
     return 0;
   } catch (const fact::Error& e) {
     fprintf(stderr, "factc: error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    // Last-resort guard: any library defect surfaces as a clean message
+    // and exit code, never an abort.
+    fprintf(stderr, "factc: internal error: %s\n", e.what());
     return 1;
   }
 }
