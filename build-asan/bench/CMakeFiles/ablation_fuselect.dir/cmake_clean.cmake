@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_fuselect.dir/ablation_fuselect.cpp.o"
+  "CMakeFiles/ablation_fuselect.dir/ablation_fuselect.cpp.o.d"
+  "ablation_fuselect"
+  "ablation_fuselect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_fuselect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example1_power.dir/example1_power.cpp.o"
+  "CMakeFiles/example1_power.dir/example1_power.cpp.o.d"
+  "example1_power"
+  "example1_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example1_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

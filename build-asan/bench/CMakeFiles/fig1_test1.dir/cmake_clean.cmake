@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_test1.dir/fig1_test1.cpp.o"
+  "CMakeFiles/fig1_test1.dir/fig1_test1.cpp.o.d"
+  "fig1_test1"
+  "fig1_test1.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_test1.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

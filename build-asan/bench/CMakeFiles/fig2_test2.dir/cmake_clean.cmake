@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_test2.dir/fig2_test2.cpp.o"
+  "CMakeFiles/fig2_test2.dir/fig2_test2.cpp.o.d"
+  "fig2_test2"
+  "fig2_test2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_test2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_resource.dir/fig3_resource.cpp.o"
+  "CMakeFiles/fig3_resource.dir/fig3_resource.cpp.o.d"
+  "fig3_resource"
+  "fig3_resource.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_resource.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

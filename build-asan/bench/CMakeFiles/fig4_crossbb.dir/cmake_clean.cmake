@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_crossbb.dir/fig4_crossbb.cpp.o"
+  "CMakeFiles/fig4_crossbb.dir/fig4_crossbb.cpp.o.d"
+  "fig4_crossbb"
+  "fig4_crossbb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_crossbb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

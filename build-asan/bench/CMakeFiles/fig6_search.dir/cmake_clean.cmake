@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_search.dir/fig6_search.cpp.o"
+  "CMakeFiles/fig6_search.dir/fig6_search.cpp.o.d"
+  "fig6_search"
+  "fig6_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_library.dir/table1_library.cpp.o"
+  "CMakeFiles/table1_library.dir/table1_library.cpp.o.d"
+  "table1_library"
+  "table1_library.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_library.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

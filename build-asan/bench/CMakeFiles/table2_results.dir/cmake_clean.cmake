@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_results.dir/table2_results.cpp.o"
+  "CMakeFiles/table2_results.dir/table2_results.cpp.o.d"
+  "table2_results"
+  "table2_results.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_results.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

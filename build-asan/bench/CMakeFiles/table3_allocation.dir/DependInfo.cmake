@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/table3_allocation.cpp" "bench/CMakeFiles/table3_allocation.dir/table3_allocation.cpp.o" "gcc" "bench/CMakeFiles/table3_allocation.dir/table3_allocation.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/opt/CMakeFiles/fact_opt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workloads/CMakeFiles/fact_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/fact_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/power/CMakeFiles/fact_power.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xform/CMakeFiles/fact_xform.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cdfg/CMakeFiles/fact_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stg/CMakeFiles/fact_stg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/fact_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hlslib/CMakeFiles/fact_hlslib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lang/CMakeFiles/fact_lang.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ir/CMakeFiles/fact_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/fact_verify.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_allocation.dir/table3_allocation.cpp.o"
+  "CMakeFiles/table3_allocation.dir/table3_allocation.cpp.o.d"
+  "table3_allocation"
+  "table3_allocation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_allocation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_bind.dir/binding.cpp.o"
+  "CMakeFiles/fact_bind.dir/binding.cpp.o.d"
+  "libfact_bind.a"
+  "libfact_bind.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_bind.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_cdfg.dir/cdfg.cpp.o"
+  "CMakeFiles/fact_cdfg.dir/cdfg.cpp.o.d"
+  "libfact_cdfg.a"
+  "libfact_cdfg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_cdfg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

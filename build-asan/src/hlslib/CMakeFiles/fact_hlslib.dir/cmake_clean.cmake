@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_hlslib.dir/library.cpp.o"
+  "CMakeFiles/fact_hlslib.dir/library.cpp.o.d"
+  "libfact_hlslib.a"
+  "libfact_hlslib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_hlslib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ir/edit.cpp" "src/ir/CMakeFiles/fact_ir.dir/edit.cpp.o" "gcc" "src/ir/CMakeFiles/fact_ir.dir/edit.cpp.o.d"
+  "/root/repo/src/ir/expr.cpp" "src/ir/CMakeFiles/fact_ir.dir/expr.cpp.o" "gcc" "src/ir/CMakeFiles/fact_ir.dir/expr.cpp.o.d"
+  "/root/repo/src/ir/function.cpp" "src/ir/CMakeFiles/fact_ir.dir/function.cpp.o" "gcc" "src/ir/CMakeFiles/fact_ir.dir/function.cpp.o.d"
+  "/root/repo/src/ir/stmt.cpp" "src/ir/CMakeFiles/fact_ir.dir/stmt.cpp.o" "gcc" "src/ir/CMakeFiles/fact_ir.dir/stmt.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_ir.dir/edit.cpp.o"
+  "CMakeFiles/fact_ir.dir/edit.cpp.o.d"
+  "CMakeFiles/fact_ir.dir/expr.cpp.o"
+  "CMakeFiles/fact_ir.dir/expr.cpp.o.d"
+  "CMakeFiles/fact_ir.dir/function.cpp.o"
+  "CMakeFiles/fact_ir.dir/function.cpp.o.d"
+  "CMakeFiles/fact_ir.dir/stmt.cpp.o"
+  "CMakeFiles/fact_ir.dir/stmt.cpp.o.d"
+  "libfact_ir.a"
+  "libfact_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

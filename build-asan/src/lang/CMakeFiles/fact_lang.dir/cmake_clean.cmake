@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_lang.dir/lexer.cpp.o"
+  "CMakeFiles/fact_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/fact_lang.dir/parser.cpp.o"
+  "CMakeFiles/fact_lang.dir/parser.cpp.o.d"
+  "libfact_lang.a"
+  "libfact_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_opt.dir/baselines.cpp.o"
+  "CMakeFiles/fact_opt.dir/baselines.cpp.o.d"
+  "CMakeFiles/fact_opt.dir/engine.cpp.o"
+  "CMakeFiles/fact_opt.dir/engine.cpp.o.d"
+  "CMakeFiles/fact_opt.dir/fact.cpp.o"
+  "CMakeFiles/fact_opt.dir/fact.cpp.o.d"
+  "CMakeFiles/fact_opt.dir/fuselect.cpp.o"
+  "CMakeFiles/fact_opt.dir/fuselect.cpp.o.d"
+  "CMakeFiles/fact_opt.dir/partition.cpp.o"
+  "CMakeFiles/fact_opt.dir/partition.cpp.o.d"
+  "libfact_opt.a"
+  "libfact_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fact_opt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/power/power.cpp" "src/power/CMakeFiles/fact_power.dir/power.cpp.o" "gcc" "src/power/CMakeFiles/fact_power.dir/power.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/stg/CMakeFiles/fact_stg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hlslib/CMakeFiles/fact_hlslib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ir/CMakeFiles/fact_ir.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

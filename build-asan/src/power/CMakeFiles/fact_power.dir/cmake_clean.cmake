@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_power.dir/power.cpp.o"
+  "CMakeFiles/fact_power.dir/power.cpp.o.d"
+  "libfact_power.a"
+  "libfact_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

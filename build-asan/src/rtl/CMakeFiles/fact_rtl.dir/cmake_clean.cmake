@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_rtl.dir/plan.cpp.o"
+  "CMakeFiles/fact_rtl.dir/plan.cpp.o.d"
+  "CMakeFiles/fact_rtl.dir/sim.cpp.o"
+  "CMakeFiles/fact_rtl.dir/sim.cpp.o.d"
+  "CMakeFiles/fact_rtl.dir/verilog.cpp.o"
+  "CMakeFiles/fact_rtl.dir/verilog.cpp.o.d"
+  "libfact_rtl.a"
+  "libfact_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sched/dfg.cpp" "src/sched/CMakeFiles/fact_sched.dir/dfg.cpp.o" "gcc" "src/sched/CMakeFiles/fact_sched.dir/dfg.cpp.o.d"
+  "/root/repo/src/sched/region.cpp" "src/sched/CMakeFiles/fact_sched.dir/region.cpp.o" "gcc" "src/sched/CMakeFiles/fact_sched.dir/region.cpp.o.d"
+  "/root/repo/src/sched/scheduler.cpp" "src/sched/CMakeFiles/fact_sched.dir/scheduler.cpp.o" "gcc" "src/sched/CMakeFiles/fact_sched.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/ir/CMakeFiles/fact_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hlslib/CMakeFiles/fact_hlslib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/fact_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stg/CMakeFiles/fact_stg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_sched.dir/dfg.cpp.o"
+  "CMakeFiles/fact_sched.dir/dfg.cpp.o.d"
+  "CMakeFiles/fact_sched.dir/region.cpp.o"
+  "CMakeFiles/fact_sched.dir/region.cpp.o.d"
+  "CMakeFiles/fact_sched.dir/scheduler.cpp.o"
+  "CMakeFiles/fact_sched.dir/scheduler.cpp.o.d"
+  "libfact_sched.a"
+  "libfact_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

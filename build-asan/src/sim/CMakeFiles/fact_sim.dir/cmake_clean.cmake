@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_sim.dir/interp.cpp.o"
+  "CMakeFiles/fact_sim.dir/interp.cpp.o.d"
+  "CMakeFiles/fact_sim.dir/trace.cpp.o"
+  "CMakeFiles/fact_sim.dir/trace.cpp.o.d"
+  "libfact_sim.a"
+  "libfact_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

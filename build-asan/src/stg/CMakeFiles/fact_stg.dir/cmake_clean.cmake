@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_stg.dir/stg.cpp.o"
+  "CMakeFiles/fact_stg.dir/stg.cpp.o.d"
+  "libfact_stg.a"
+  "libfact_stg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_stg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_util.dir/dot.cpp.o"
+  "CMakeFiles/fact_util.dir/dot.cpp.o.d"
+  "CMakeFiles/fact_util.dir/rng.cpp.o"
+  "CMakeFiles/fact_util.dir/rng.cpp.o.d"
+  "libfact_util.a"
+  "libfact_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

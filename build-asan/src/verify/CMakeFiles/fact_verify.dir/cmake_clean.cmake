@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_verify.dir/fault_injector.cpp.o"
+  "CMakeFiles/fact_verify.dir/fault_injector.cpp.o.d"
+  "CMakeFiles/fact_verify.dir/verify.cpp.o"
+  "CMakeFiles/fact_verify.dir/verify.cpp.o.d"
+  "libfact_verify.a"
+  "libfact_verify.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_verify.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

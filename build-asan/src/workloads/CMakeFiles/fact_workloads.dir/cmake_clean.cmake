@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/fact_workloads.dir/workloads.cpp.o.d"
+  "libfact_workloads.a"
+  "libfact_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xform/algebraic.cpp" "src/xform/CMakeFiles/fact_xform.dir/algebraic.cpp.o" "gcc" "src/xform/CMakeFiles/fact_xform.dir/algebraic.cpp.o.d"
+  "/root/repo/src/xform/controlflow.cpp" "src/xform/CMakeFiles/fact_xform.dir/controlflow.cpp.o" "gcc" "src/xform/CMakeFiles/fact_xform.dir/controlflow.cpp.o.d"
+  "/root/repo/src/xform/dataflow.cpp" "src/xform/CMakeFiles/fact_xform.dir/dataflow.cpp.o" "gcc" "src/xform/CMakeFiles/fact_xform.dir/dataflow.cpp.o.d"
+  "/root/repo/src/xform/expr_transform.cpp" "src/xform/CMakeFiles/fact_xform.dir/expr_transform.cpp.o" "gcc" "src/xform/CMakeFiles/fact_xform.dir/expr_transform.cpp.o.d"
+  "/root/repo/src/xform/selects.cpp" "src/xform/CMakeFiles/fact_xform.dir/selects.cpp.o" "gcc" "src/xform/CMakeFiles/fact_xform.dir/selects.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/ir/CMakeFiles/fact_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/fact_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cdfg/CMakeFiles/fact_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fact_xform.dir/algebraic.cpp.o"
+  "CMakeFiles/fact_xform.dir/algebraic.cpp.o.d"
+  "CMakeFiles/fact_xform.dir/controlflow.cpp.o"
+  "CMakeFiles/fact_xform.dir/controlflow.cpp.o.d"
+  "CMakeFiles/fact_xform.dir/dataflow.cpp.o"
+  "CMakeFiles/fact_xform.dir/dataflow.cpp.o.d"
+  "CMakeFiles/fact_xform.dir/expr_transform.cpp.o"
+  "CMakeFiles/fact_xform.dir/expr_transform.cpp.o.d"
+  "CMakeFiles/fact_xform.dir/selects.cpp.o"
+  "CMakeFiles/fact_xform.dir/selects.cpp.o.d"
+  "libfact_xform.a"
+  "libfact_xform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fact_xform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,58 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/bind_rtl_test.cpp" "tests/CMakeFiles/fact_tests.dir/bind_rtl_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/bind_rtl_test.cpp.o.d"
+  "/root/repo/tests/cdfg_test.cpp" "tests/CMakeFiles/fact_tests.dir/cdfg_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/cdfg_test.cpp.o.d"
+  "/root/repo/tests/cli_test.cpp" "tests/CMakeFiles/fact_tests.dir/cli_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/cli_test.cpp.o.d"
+  "/root/repo/tests/dataflow_xform_test.cpp" "tests/CMakeFiles/fact_tests.dir/dataflow_xform_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/dataflow_xform_test.cpp.o.d"
+  "/root/repo/tests/faultinject_test.cpp" "tests/CMakeFiles/fact_tests.dir/faultinject_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/faultinject_test.cpp.o.d"
+  "/root/repo/tests/fuselect_test.cpp" "tests/CMakeFiles/fact_tests.dir/fuselect_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/fuselect_test.cpp.o.d"
+  "/root/repo/tests/fuzz_test.cpp" "tests/CMakeFiles/fact_tests.dir/fuzz_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/fuzz_test.cpp.o.d"
+  "/root/repo/tests/hlslib_test.cpp" "tests/CMakeFiles/fact_tests.dir/hlslib_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/hlslib_test.cpp.o.d"
+  "/root/repo/tests/integration_test.cpp" "tests/CMakeFiles/fact_tests.dir/integration_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/integration_test.cpp.o.d"
+  "/root/repo/tests/ir_test.cpp" "tests/CMakeFiles/fact_tests.dir/ir_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/ir_test.cpp.o.d"
+  "/root/repo/tests/lang_test.cpp" "tests/CMakeFiles/fact_tests.dir/lang_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/lang_test.cpp.o.d"
+  "/root/repo/tests/opt_test.cpp" "tests/CMakeFiles/fact_tests.dir/opt_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/opt_test.cpp.o.d"
+  "/root/repo/tests/pipeline_test.cpp" "tests/CMakeFiles/fact_tests.dir/pipeline_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/pipeline_test.cpp.o.d"
+  "/root/repo/tests/power_test.cpp" "tests/CMakeFiles/fact_tests.dir/power_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/power_test.cpp.o.d"
+  "/root/repo/tests/program_gen.cpp" "tests/CMakeFiles/fact_tests.dir/program_gen.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/program_gen.cpp.o.d"
+  "/root/repo/tests/roundtrip_test.cpp" "tests/CMakeFiles/fact_tests.dir/roundtrip_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/roundtrip_test.cpp.o.d"
+  "/root/repo/tests/rtl_equiv_test.cpp" "tests/CMakeFiles/fact_tests.dir/rtl_equiv_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/rtl_equiv_test.cpp.o.d"
+  "/root/repo/tests/rtl_plan_test.cpp" "tests/CMakeFiles/fact_tests.dir/rtl_plan_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/rtl_plan_test.cpp.o.d"
+  "/root/repo/tests/sched_test.cpp" "tests/CMakeFiles/fact_tests.dir/sched_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/sched_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/fact_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/stg_test.cpp" "tests/CMakeFiles/fact_tests.dir/stg_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/stg_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/fact_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/verify_test.cpp" "tests/CMakeFiles/fact_tests.dir/verify_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/verify_test.cpp.o.d"
+  "/root/repo/tests/workloads_test.cpp" "tests/CMakeFiles/fact_tests.dir/workloads_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/workloads_test.cpp.o.d"
+  "/root/repo/tests/xform_test.cpp" "tests/CMakeFiles/fact_tests.dir/xform_test.cpp.o" "gcc" "tests/CMakeFiles/fact_tests.dir/xform_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/opt/CMakeFiles/fact_opt.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workloads/CMakeFiles/fact_workloads.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sched/CMakeFiles/fact_sched.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/power/CMakeFiles/fact_power.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/verify/CMakeFiles/fact_verify.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xform/CMakeFiles/fact_xform.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/cdfg/CMakeFiles/fact_cdfg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/rtl/CMakeFiles/fact_rtl.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/bind/CMakeFiles/fact_bind.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/stg/CMakeFiles/fact_stg.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/sim/CMakeFiles/fact_sim.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hlslib/CMakeFiles/fact_hlslib.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/lang/CMakeFiles/fact_lang.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/ir/CMakeFiles/fact_ir.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/fact_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

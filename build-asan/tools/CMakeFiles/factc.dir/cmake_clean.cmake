@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/factc.dir/factc.cpp.o"
+  "CMakeFiles/factc.dir/factc.cpp.o.d"
+  "factc"
+  "factc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/factc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
