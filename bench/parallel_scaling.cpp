@@ -1,0 +1,186 @@
+// Parallel candidate evaluation + memoization bench: per Table 2 workload
+// this runs the full FACT search four ways —
+//   serial   jobs=1, memoized (the reference; also warms a shared cache)
+//   parallel jobs=N, memoized (checked byte-identical to serial: the
+//            engine's determinism contract)
+//   no-memo  jobs=1, memoization disabled (every evaluation request runs
+//            the full profile+schedule+verify pipeline)
+//   warm     jobs=1 against the cache the serial leg filled (models
+//            design-space exploration re-running the flow)
+// and reports wall-clock speedup, the evaluation-cache hit rate, and the
+// pipeline-run reduction memoization buys. Results go to stdout and to a
+// machine-readable BENCH_fact.json so the perf trajectory is tracked
+// PR-over-PR.
+//
+//   parallel_scaling [--jobs N] [--out BENCH_fact.json]
+
+#include <chrono>
+#include <cstring>
+
+#include "bench_util.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace fact;
+
+struct FlowRun {
+  opt::FactResult result;
+  double wall_ms = 0.0;
+};
+
+FlowRun timed_fact(const bench::Env& env, const workloads::Workload& w,
+                   int jobs, bool memoize, opt::EvalCache* cache) {
+  opt::FactOptions fo;
+  fo.sched = env.sched_opts;
+  fo.power = env.power_opts;
+  fo.seed = env.seed;
+  fo.engine.jobs = jobs;
+  fo.engine.memoize = memoize;
+  const auto xf = xform::TransformLibrary::standard();
+  const auto t0 = std::chrono::steady_clock::now();
+  FlowRun run;
+  run.result = opt::run_fact(w.fn, env.lib, w.allocation, env.sel, w.trace, xf,
+                             fo, cache);
+  run.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - t0)
+                    .count();
+  return run;
+}
+
+bool same_result(const opt::FactResult& a, const opt::FactResult& b) {
+  return a.optimized.str() == b.optimized.str() && a.applied == b.applied &&
+         a.quarantined == b.quarantined;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int jobs = 4;
+  std::string out_path = "BENCH_fact.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "--jobs") && i + 1 < argc) jobs = atoi(argv[++i]);
+    else if (!strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
+    else {
+      fprintf(stderr, "usage: parallel_scaling [--jobs N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  bench::Env env;
+  printf("FACT parallel evaluation scaling: jobs=1 vs jobs=%d "
+         "(%d hardware thread(s))\n",
+         jobs, WorkerPool::hardware_threads());
+  bench::rule('=');
+  printf("%-9s %8s %8s %8s %8s %8s %6s %6s %5s\n", "workload", "ms(j=1)",
+         "ms(j=N)", "speedup", "no-memo", "warm", "hit%", "warm%", "same");
+  bench::rule();
+
+  bench::Json json;
+  json.begin_object();
+  json.key("bench").value("parallel_scaling");
+  json.key("jobs").value(jobs);
+  json.key("hardware_threads").value(WorkerPool::hardware_threads());
+  json.key("workloads").begin_array();
+
+  bool all_identical = true;
+  double total_serial = 0.0, total_parallel = 0.0;
+  double total_nomemo = 0.0, total_warm = 0.0;
+  int64_t total_evals = 0, total_hits = 0, total_warm_hits = 0;
+  for (const auto& w : workloads::table2_benchmarks()) {
+    // The serial leg doubles as the cache-warming leg: the shared cache
+    // starts empty, so its results are identical to a flow-local cache.
+    opt::EvalCache shared_cache;
+    const FlowRun serial = timed_fact(env, w, 1, true, &shared_cache);
+    const FlowRun parallel = timed_fact(env, w, jobs, true, nullptr);
+    const FlowRun nomemo = timed_fact(env, w, 1, false, nullptr);
+    const FlowRun warm = timed_fact(env, w, 1, true, &shared_cache);
+
+    // Determinism contract: byte-identical winner, transform sequence, and
+    // accounting for any jobs value — and memoization (cold or warm) must
+    // not change what the search finds, only what it recomputes.
+    const bool identical =
+        same_result(serial.result, parallel.result) &&
+        serial.result.evaluations == parallel.result.evaluations &&
+        serial.result.cache_hits == parallel.result.cache_hits &&
+        same_result(serial.result, nomemo.result) &&
+        same_result(serial.result, warm.result);
+    all_identical = all_identical && identical;
+
+    const auto& r = serial.result;
+    const double hit_rate =
+        r.evaluations > 0 ? double(r.cache_hits) / r.evaluations : 0.0;
+    const double warm_hit_rate =
+        warm.result.evaluations > 0
+            ? double(warm.result.cache_hits) / warm.result.evaluations
+            : 0.0;
+    const double speedup =
+        parallel.wall_ms > 0.0 ? serial.wall_ms / parallel.wall_ms : 0.0;
+    printf("%-9s %8.1f %8.1f %7.2fx %8.1f %8.1f %5.1f%% %5.1f%% %5s\n",
+           w.name.c_str(), serial.wall_ms, parallel.wall_ms, speedup,
+           nomemo.wall_ms, warm.wall_ms, 100.0 * hit_rate,
+           100.0 * warm_hit_rate, identical ? "yes" : "NO");
+
+    total_serial += serial.wall_ms;
+    total_parallel += parallel.wall_ms;
+    total_nomemo += nomemo.wall_ms;
+    total_warm += warm.wall_ms;
+    total_evals += r.evaluations;
+    total_hits += r.cache_hits;
+    total_warm_hits += warm.result.cache_hits;
+
+    json.begin_object();
+    json.key("name").value(w.name);
+    json.key("avg_len").value(r.final_avg_len);
+    json.key("power").value(r.final_power.power);
+    json.key("initial_avg_len").value(r.initial_avg_len);
+    json.key("transforms").value(r.applied.size());
+    json.key("evaluations").value(r.evaluations);
+    json.key("cache_hits").value(r.cache_hits);
+    json.key("cache_misses").value(r.cache_misses);
+    json.key("cache_hit_rate").value(hit_rate);
+    json.key("warm_cache_hits").value(warm.result.cache_hits);
+    json.key("warm_cache_hit_rate").value(warm_hit_rate);
+    json.key("wall_ms_serial").value(serial.wall_ms);
+    json.key("wall_ms_parallel").value(parallel.wall_ms);
+    json.key("wall_ms_nomemo").value(nomemo.wall_ms);
+    json.key("wall_ms_warm").value(warm.wall_ms);
+    json.key("speedup").value(speedup);
+    json.key("identical").value(identical);
+    json.end_object();
+  }
+  json.end_array();
+
+  bench::rule();
+  const double total_speedup =
+      total_parallel > 0.0 ? total_serial / total_parallel : 0.0;
+  const double total_hit_rate =
+      total_evals > 0 ? double(total_hits) / double(total_evals) : 0.0;
+  const double total_warm_hit_rate =
+      total_evals > 0 ? double(total_warm_hits) / double(total_evals) : 0.0;
+  printf("%-9s %8.1f %8.1f %7.2fx %8.1f %8.1f %5.1f%% %5.1f%%\n", "total",
+         total_serial, total_parallel, total_speedup, total_nomemo, total_warm,
+         100.0 * total_hit_rate, 100.0 * total_warm_hit_rate);
+  printf("memoization skipped %lld/%lld pipeline runs cold, %lld/%lld on a "
+         "warm cache (re-run %.2fx faster than no-memo)\n",
+         static_cast<long long>(total_hits),
+         static_cast<long long>(total_evals),
+         static_cast<long long>(total_warm_hits),
+         static_cast<long long>(total_evals),
+         total_warm > 0.0 ? total_nomemo / total_warm : 0.0);
+  if (!all_identical)
+    printf("ERROR: jobs=%d diverged from jobs=1 on some workload\n", jobs);
+
+  json.key("total_wall_ms_serial").value(total_serial);
+  json.key("total_wall_ms_parallel").value(total_parallel);
+  json.key("total_wall_ms_nomemo").value(total_nomemo);
+  json.key("total_wall_ms_warm").value(total_warm);
+  json.key("total_speedup").value(total_speedup);
+  json.key("total_cache_hit_rate").value(total_hit_rate);
+  json.key("total_warm_cache_hit_rate").value(total_warm_hit_rate);
+  json.key("all_identical").value(all_identical);
+  json.end_object();
+  json.write(out_path);
+  printf("wrote %s\n", out_path.c_str());
+  return all_identical ? 0 : 1;
+}

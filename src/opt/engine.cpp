@@ -3,10 +3,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <cstring>
 #include <typeinfo>
 #include <unordered_set>
 
+#include "ir/hash.hpp"
 #include "util/error.hpp"
+#include "util/parallel.hpp"
 #include "util/strfmt.hpp"
 
 namespace fact::opt {
@@ -20,9 +23,51 @@ struct Member {
   std::set<int> region;              // region ids incl. transform-created
   std::vector<std::string> applied;  // how we got here
   Evaluation eval;
+  uint64_t hash = 0;                 // ir::structural_hash(fn)
 };
 
 }  // namespace
+
+// ---- EvalCache ---------------------------------------------------------
+
+EvalCache::Key EvalCache::make_key(uint64_t h, Objective o,
+                                   double baseline_len) {
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(baseline_len));
+  std::memcpy(&bits, &baseline_len, sizeof(bits));
+  return Key{h, static_cast<int>(o), bits};
+}
+
+size_t EvalCache::KeyHash::operator()(const Key& k) const {
+  uint64_t h = k.hash;
+  h ^= (k.baseline_bits + 0x9E3779B97F4A7C15ull + (h << 6) + (h >> 2));
+  h ^= (static_cast<uint64_t>(k.objective) + 0x9E3779B97F4A7C15ull +
+        (h << 6) + (h >> 2));
+  return static_cast<size_t>(h);
+}
+
+std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t structural_hash,
+                                                  Objective objective,
+                                                  double baseline_len) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(make_key(structural_hash, objective, baseline_len));
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void EvalCache::insert(uint64_t structural_hash, Objective objective,
+                       double baseline_len, Entry entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  map_.try_emplace(make_key(structural_hash, objective, baseline_len),
+                   std::move(entry));
+}
+
+size_t EvalCache::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return map_.size();
+}
+
+// ---- TransformEngine ---------------------------------------------------
 
 TransformEngine::TransformEngine(const hlslib::Library& lib,
                                  const hlslib::Allocation& alloc,
@@ -83,12 +128,26 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
                                        const sim::Trace& trace,
                                        Objective objective,
                                        const std::set<int>& region,
-                                       double baseline_len) const {
+                                       double baseline_len,
+                                       EvalCache* shared_cache) const {
   Rng rng(opts_.seed);
   const auto start_time = std::chrono::steady_clock::now();
 
   EngineResult result;
   result.best = fn.clone();
+
+  // Memoized evaluations: shared across calls when the caller provides a
+  // cache (run_fact does, one per flow), run-local otherwise.
+  EvalCache local_cache;
+  EvalCache& cache = shared_cache ? *shared_cache : local_cache;
+
+  // The pool only parallelizes per-candidate work (apply/verify/
+  // equivalence/evaluate); neighborhood generation, the RNG, and every
+  // reduction over candidate outcomes stay on this thread, in submission
+  // order — which is what makes results independent of the jobs count.
+  const int jobs =
+      opts_.jobs <= 0 ? WorkerPool::hardware_threads() : opts_.jobs;
+  WorkerPool pool(jobs);
 
   // Reads-before-def present in the *input* behavior are legal (registers
   // read as 0); candidates may not enlarge the set.
@@ -131,42 +190,89 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
     }
   };
 
-  // Transactional evaluation: any failure — allocation infeasibility,
-  // scheduler non-convergence, verifier rejection of the schedule, or an
-  // arbitrary exception — quarantines the member with a diagnostic
-  // instead of aborting the search.
-  auto evaluate_member = [&](Member& m) -> bool {
-    result.evaluations++;
+  // Transactional evaluation, compute side: any failure — allocation
+  // infeasibility, scheduler non-convergence, verifier rejection of the
+  // schedule, or an arbitrary exception — becomes a failure entry instead
+  // of aborting the search. Called concurrently from workers: evaluate()
+  // builds its own Scheduler and all engine context is read-only.
+  auto compute_entry = [&](const ir::Function& f) {
+    EvalCache::Entry e;
     try {
-      m.eval = evaluate(m.fn, trace, objective, baseline_len);
-      return true;
-    } catch (const verify::VerifyError& e) {
-      quarantine("evaluate", e.report().ok() ? "verify" : e.report().first_check(),
-                 e.what(), m.applied);
-    } catch (const Error& e) {
+      e.eval = evaluate(f, trace, objective, baseline_len);
+      e.ok = true;
+    } catch (const verify::VerifyError& ex) {
+      e.failure_class =
+          ex.report().ok() ? "verify" : ex.report().first_check();
+      e.message = ex.what();
+    } catch (const Error& ex) {
       // e.g. a transform pushed the behavior outside the allocation's
       // reach, or the scheduler could not converge under the clock.
-      quarantine("evaluate", "schedule-error", e.what(), m.applied);
-    } catch (const std::exception& e) {
-      quarantine("evaluate", strfmt("exception:%s", typeid(e).name()),
-                 e.what(), m.applied);
+      e.failure_class = "schedule-error";
+      e.message = ex.what();
+    } catch (const std::exception& ex) {
+      e.failure_class = strfmt("exception:%s", typeid(ex).name());
+      e.message = ex.what();
     }
-    m.eval = Evaluation{};
-    m.eval.score = 1e30;
-    return false;
+    return e;
   };
 
-  Member root{fn.clone(), region, {}, {}};
-  const bool root_ok = evaluate_member(root);
+  // Transactional evaluation, accounting side (serial): counts the
+  // request, publishes fresh results to the cache, and quarantines
+  // failures. Returns false when the member must drop out.
+  auto consume_entry = [&](Member& m, const EvalCache::Entry& entry,
+                           bool hit) {
+    result.evaluations++;
+    if (hit) {
+      result.cache_hits++;
+    } else {
+      result.cache_misses++;
+      if (opts_.memoize) cache.insert(m.hash, objective, baseline_len, entry);
+    }
+    if (!entry.ok) {
+      quarantine("evaluate", entry.failure_class, entry.message, m.applied);
+      m.eval = Evaluation{};
+      m.eval.score = 1e30;
+      return false;
+    }
+    m.eval = entry.eval;
+    return true;
+  };
+
+  Member root{fn.clone(), region, {}, {}, ir::structural_hash(fn)};
+  bool root_ok;
+  {
+    const auto hit = opts_.memoize
+                         ? cache.lookup(root.hash, objective, baseline_len)
+                         : std::nullopt;
+    root_ok = consume_entry(root, hit ? *hit : compute_entry(root.fn),
+                            hit.has_value());
+  }
   result.best_eval = root.eval;
 
   // Structural dedup across the whole run.
-  std::unordered_set<size_t> seen;
-  const std::hash<std::string> hasher;
-  seen.insert(hasher(root.fn.str()));
+  std::unordered_set<uint64_t> seen;
+  seen.insert(root.hash);
 
   std::vector<Member> in_set;
   in_set.push_back(std::move(root));
+
+  struct WorkItem {
+    size_t parent;  // index into in_set
+    xform::Candidate cand;
+  };
+
+  /// Outcome of the speculative (worker-side) part of one candidate's
+  /// gauntlet. The serial reduction replays these in submission order.
+  struct Outcome {
+    enum class Status { Survived, Duplicate, Quarantined, NonEquivalent };
+    Status status = Status::Duplicate;
+    ir::Function fn;            // transformed (valid past gate 1)
+    uint64_t hash = 0;          // valid when past_dedup
+    bool past_dedup = false;    // reached the dedup gate (post-verify)
+    const char* pass = "";      // quarantine pass when Quarantined
+    std::string failure_class;
+    std::string message;
+  };
 
   int accepted = 0;  // candidates that survived every gate
   double best_score = result.best_eval.score;
@@ -176,97 +282,195 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
     const double score_before = best_score;
 
     for (int move = 0; move < opts_.max_moves && !out_of_budget(); ++move) {
-      std::vector<Member> behavior_set;
-
-      // Neighborhood generation: every candidate transformation of every
-      // population member (statement 6 of Figure 6).
-      for (const Member& g : in_set) {
+      // Neighborhood generation (serial): every candidate transformation
+      // of every population member (statement 6 of Figure 6) goes into one
+      // RNG-ordered work list.
+      std::vector<WorkItem> work;
+      for (size_t gi = 0; gi < in_set.size(); ++gi) {
         if (out_of_budget()) break;
         std::vector<xform::Candidate> cands =
-            xforms_.find_all(g.fn, g.region);
+            xforms_.find_all(in_set[gi].fn, in_set[gi].region);
         // Deterministic shuffle so the evaluation budget samples the
         // neighborhood uniformly instead of front-loading one transform.
         for (size_t i = cands.size(); i > 1; --i)
           std::swap(cands[i - 1],
                     cands[static_cast<size_t>(rng.uniform_int(0, static_cast<int64_t>(i) - 1))]);
+        for (auto& c : cands)
+          work.push_back(WorkItem{gi, std::move(c)});
+      }
 
-        for (const auto& c : cands) {
-          if (behavior_set.size() >= opts_.max_neighbors_eval) break;
-          if (out_of_budget()) break;
-
-          std::vector<std::string> seq = g.applied;
-          seq.push_back(c.describe());
+      // The gauntlet (gates 1-3), in waves: workers speculatively apply,
+      // verify, hash, and equivalence-check candidates; the reduction then
+      // replays outcomes in submission order, so the dedup set, the
+      // quarantine counters/records, and the surviving behavior_set are
+      // exactly those of a jobs=1 run. Wave size is the number of
+      // survivors still wanted — independent of the jobs count — so even
+      // the set of speculatively processed candidates is deterministic.
+      std::vector<Member> behavior_set;
+      size_t next_item = 0;
+      while (next_item < work.size() &&
+             behavior_set.size() < opts_.max_neighbors_eval &&
+             !out_of_budget()) {
+        const size_t wave =
+            std::min(work.size() - next_item,
+                     opts_.max_neighbors_eval - behavior_set.size());
+        std::vector<Outcome> outcomes(wave);
+        pool.parallel_for(wave, [&](size_t w) {
+          const WorkItem& item = work[next_item + w];
+          const Member& g = in_set[item.parent];
+          Outcome& o = outcomes[w];
 
           // Gate 1: the rewrite itself. A transform implementation may
           // throw anything; the candidate is quarantined, never the run.
-          ir::Function transformed;
           try {
-            transformed = xforms_.apply(g.fn, c);
+            o.fn = xforms_.apply(g.fn, item.cand);
           } catch (const Error& e) {
-            quarantine("apply", "apply-error", e.what(), seq);
-            continue;
+            o.status = Outcome::Status::Quarantined;
+            o.pass = "apply";
+            o.failure_class = "apply-error";
+            o.message = e.what();
+            return;
           } catch (const std::exception& e) {
-            quarantine("apply", strfmt("exception:%s", typeid(e).name()),
-                       e.what(), seq);
-            continue;
+            o.status = Outcome::Status::Quarantined;
+            o.pass = "apply";
+            o.failure_class = strfmt("exception:%s", typeid(e).name());
+            o.message = e.what();
+            return;
           }
 
           // Gate 2: deep IR invariants, before dedup so that even a
-          // corruption that leaves the rendered text unchanged (e.g. a
+          // corruption that leaves the structural hash unchanged (e.g. a
           // duplicated statement id) is caught and accounted for.
           if (opts_.validate != verify::Level::Off) {
             const verify::Report rep = verify::verify_function(
-                transformed, opts_.validate, &baseline_undef);
+                o.fn, opts_.validate, &baseline_undef);
             if (!rep.ok()) {
-              quarantine("verify", rep.first_check(), rep.str(), seq);
-              continue;
+              o.status = Outcome::Status::Quarantined;
+              o.pass = "verify";
+              o.failure_class = rep.first_check();
+              o.message = rep.str();
+              return;
             }
           }
 
-          const size_t h = hasher(transformed.str());
-          if (!seen.insert(h).second) continue;
+          o.hash = ir::structural_hash(o.fn);
+          o.past_dedup = true;
+          // Pre-filter against the dedup set, frozen during the wave:
+          // known duplicates skip the equivalence simulation. The
+          // authoritative dedup (which also catches duplicates *within*
+          // this wave) runs in the reduction below.
+          if (seen.count(o.hash)) {
+            o.status = Outcome::Status::Duplicate;
+            return;
+          }
 
           // Gate 3: observable behavior must match the original.
           if (opts_.verify_equivalence) {
             bool equivalent = false;
             try {
-              equivalent = sim::equivalent_on_trace(fn, transformed, trace);
+              equivalent = sim::equivalent_on_trace(fn, o.fn, trace);
             } catch (const std::exception& e) {
-              quarantine("equivalence", "simulation-error", e.what(), seq);
-              continue;
+              o.status = Outcome::Status::Quarantined;
+              o.pass = "equivalence";
+              o.failure_class = "simulation-error";
+              o.message = e.what();
+              return;
             }
             if (!equivalent) {
-              result.rejected_nonequivalent++;
-              quarantine("equivalence", "nonequivalent", c.describe(), seq);
-              continue;
+              o.status = Outcome::Status::NonEquivalent;
+              o.message = item.cand.describe();
+              return;
             }
           }
+          o.status = Outcome::Status::Survived;
+        });
 
-          Member m;
-          // Region: keep the parent's ids plus any transform-created ones.
-          m.region = g.region;
-          if (!m.region.empty()) {
-            const std::set<int> parent_ids = g.fn.stmt_ids();
-            for (int id : transformed.stmt_ids())
-              if (!parent_ids.count(id)) m.region.insert(id);
+        for (size_t w = 0; w < wave; ++w) {
+          if (behavior_set.size() >= opts_.max_neighbors_eval) break;
+          if (out_of_budget()) break;
+          Outcome& o = outcomes[w];
+          // Structural dedup, in submission order (mirrors the serial
+          // gate: candidates reaching it insert their hash whether or not
+          // they later fail equivalence).
+          if (o.past_dedup && !seen.insert(o.hash).second) continue;
+
+          const WorkItem& item = work[next_item + w];
+          const Member& g = in_set[item.parent];
+          std::vector<std::string> seq = g.applied;
+          seq.push_back(item.cand.describe());
+
+          switch (o.status) {
+            case Outcome::Status::Quarantined:
+              quarantine(o.pass, std::move(o.failure_class),
+                         std::move(o.message), seq);
+              break;
+            case Outcome::Status::Duplicate:
+              break;  // unreachable: the seen-insert above filtered it
+            case Outcome::Status::NonEquivalent:
+              result.rejected_nonequivalent++;
+              quarantine("equivalence", "nonequivalent", std::move(o.message),
+                         seq);
+              break;
+            case Outcome::Status::Survived: {
+              Member m;
+              // Region: keep the parent's ids plus any transform-created
+              // ones.
+              m.region = g.region;
+              if (!m.region.empty()) {
+                const std::set<int> parent_ids = g.fn.stmt_ids();
+                for (int id : o.fn.stmt_ids())
+                  if (!parent_ids.count(id)) m.region.insert(id);
+              }
+              m.fn = std::move(o.fn);
+              m.applied = std::move(seq);
+              m.hash = o.hash;
+              behavior_set.push_back(std::move(m));
+              break;
+            }
           }
-          m.fn = std::move(transformed);
-          m.applied = std::move(seq);
-          behavior_set.push_back(std::move(m));
         }
+        next_item += wave;
       }
       if (behavior_set.empty()) break;
 
-      // Assess efficacy: reschedule + estimate (statements 8-10). Members
-      // whose evaluation fails are quarantined and drop out of the
-      // population.
+      // Assess efficacy: reschedule + estimate (statements 8-10), one
+      // parallel wave over the surviving neighborhood against the frozen
+      // cache, reduced in submission order. Members whose evaluation fails
+      // are quarantined and drop out of the population.
       std::vector<Member> evaluated;
       evaluated.reserve(behavior_set.size());
-      for (Member& m : behavior_set) {
-        if (out_of_budget()) break;
-        if (opts_.reschedule_in_loop) {
-          if (!evaluate_member(m)) continue;
-        } else {
+      if (opts_.reschedule_in_loop) {
+        const size_t n = behavior_set.size();
+        std::vector<EvalCache::Entry> entries(n);
+        std::vector<char> hits(n, 0);
+        pool.parallel_for(n, [&](size_t w) {
+          const auto hit =
+              opts_.memoize
+                  ? cache.lookup(behavior_set[w].hash, objective, baseline_len)
+                  : std::nullopt;
+          if (hit) {
+            entries[w] = std::move(*hit);
+            hits[w] = 1;
+          } else {
+            entries[w] = compute_entry(behavior_set[w].fn);
+          }
+        });
+        for (size_t w = 0; w < n; ++w) {
+          if (out_of_budget()) break;
+          Member& m = behavior_set[w];
+          if (!consume_entry(m, entries[w], hits[w] != 0)) continue;
+          accepted++;
+          if (m.eval.score < best_score) {
+            best_score = m.eval.score;
+            result.best = m.fn.clone();
+            result.best_eval = m.eval;
+            result.applied = m.applied;
+          }
+          evaluated.push_back(std::move(m));
+        }
+      } else {
+        for (Member& m : behavior_set) {
+          if (out_of_budget()) break;
           // Ablation: schedule-blind search scores by static op count.
           size_t ops = 0;
           m.fn.for_each([&](const ir::Stmt& s) {
@@ -274,15 +478,15 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
               ops += (*slot)->tree_size();
           });
           m.eval.score = static_cast<double>(ops);
+          accepted++;
+          if (m.eval.score < best_score) {
+            best_score = m.eval.score;
+            result.best = m.fn.clone();
+            result.best_eval = m.eval;
+            result.applied = m.applied;
+          }
+          evaluated.push_back(std::move(m));
         }
-        accepted++;
-        if (m.eval.score < best_score) {
-          best_score = m.eval.score;
-          result.best = m.fn.clone();
-          result.best_eval = m.eval;
-          result.applied = m.applied;
-        }
-        evaluated.push_back(std::move(m));
       }
       behavior_set = std::move(evaluated);
       if (behavior_set.empty()) break;

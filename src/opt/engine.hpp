@@ -1,8 +1,12 @@
 #pragma once
 
+#include <cstdint>
 #include <map>
+#include <mutex>
+#include <optional>
 #include <set>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "power/power.hpp"
@@ -47,6 +51,21 @@ struct EngineOptions {
   /// At most this many structured quarantine records are kept (counters
   /// always cover every quarantined candidate).
   size_t quarantine_log_cap = 64;
+
+  /// Worker threads for candidate evaluation (apply/verify/equivalence/
+  /// schedule+estimate run concurrently; neighborhood generation and all
+  /// result reduction stay serial). 0 = hardware concurrency. The engine's
+  /// determinism contract: any jobs value produces byte-identical results
+  /// to jobs=1 (see DESIGN.md). Leave at 1 when the TransformLibrary is a
+  /// stateful wrapper (e.g. the FaultInjector) — find/apply are called from
+  /// worker threads when jobs > 1 and must be thread-safe.
+  int jobs = 1;
+
+  /// Evaluation memoization (ablation switch): when false the engine never
+  /// consults or fills the EvalCache and every request runs the full
+  /// profile+schedule+verify pipeline. Results are identical either way —
+  /// cached entries are exactly what recomputation would produce.
+  bool memoize = true;
 };
 
 /// Why and where a candidate was quarantined instead of evaluated.
@@ -64,12 +83,60 @@ struct Evaluation {
   double score = 0.0;    // objective value; lower is better
 };
 
+/// Memoized candidate evaluations, keyed by (structural hash, objective,
+/// baseline_len). run_fact shares one cache across its per-block engine
+/// runs: blocks repeatedly re-derive overlapping variants (and every
+/// block's root is the previous block's winner), and a hit skips the full
+/// profile+schedule+verify pipeline. Failed evaluations are memoized too,
+/// so a known-bad variant quarantines again without re-running the
+/// scheduler. Thread-safe; the engine only inserts during its serial
+/// reduction step, so lookups within one evaluation wave see a frozen
+/// cache and hit/miss counts are independent of `jobs`.
+class EvalCache {
+ public:
+  struct Entry {
+    bool ok = false;
+    Evaluation eval;            // valid when ok
+    std::string failure_class;  // quarantine class when !ok
+    std::string message;        // diagnostic when !ok
+  };
+
+  std::optional<Entry> lookup(uint64_t structural_hash, Objective objective,
+                              double baseline_len) const;
+  /// First insertion wins; re-inserting the same key is a no-op (the engine
+  /// re-requests a key only when dedup already collapsed it).
+  void insert(uint64_t structural_hash, Objective objective,
+              double baseline_len, Entry entry);
+  size_t size() const;
+
+ private:
+  struct Key {
+    uint64_t hash;
+    int objective;
+    uint64_t baseline_bits;  // bit pattern of baseline_len (exact match)
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const;
+  };
+  static Key make_key(uint64_t h, Objective o, double baseline_len);
+
+  mutable std::mutex mu_;
+  std::unordered_map<Key, Entry, KeyHash> map_;
+};
+
 struct EngineResult {
   ir::Function best;
   Evaluation best_eval;
   std::vector<std::string> applied;      // winning transform sequence
   std::vector<double> score_trace;       // best score after each generation
-  int evaluations = 0;                   // schedule+estimate invocations
+  /// Evaluation *requests* (every candidate that reached the schedule+
+  /// estimate stage). Of these, cache_hits were served from the memo cache
+  /// without running the pipeline; cache_misses ran it for real.
+  /// evaluations == cache_hits + cache_misses always.
+  int evaluations = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
   int rejected_nonequivalent = 0;        // candidates failing trace equivalence
 
   /// Candidates removed by the transactional evaluation wrapper (failed
@@ -100,10 +167,14 @@ class TransformEngine {
   /// Optimizes `fn` for `objective`, applying transforms only within
   /// `region` (statement ids; empty = whole function). `baseline_len` is
   /// the untransformed design's average schedule length, the reference for
-  /// iso-throughput Vdd scaling in Power mode.
+  /// iso-throughput Vdd scaling in Power mode. `cache` optionally shares
+  /// memoized evaluations across calls (run_fact passes one per flow);
+  /// when null a run-local cache is used. Results are identical for any
+  /// EngineOptions::jobs value: candidate work runs on worker threads but
+  /// is reduced strictly in the serial submission order.
   EngineResult optimize(const ir::Function& fn, const sim::Trace& trace,
                         Objective objective, const std::set<int>& region,
-                        double baseline_len) const;
+                        double baseline_len, EvalCache* cache = nullptr) const;
 
   /// Schedules and evaluates one function (used standalone by benches).
   /// At EngineOptions::validate == Full, throws verify::VerifyError when

@@ -9,7 +9,7 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                     const hlslib::FuSelection& sel,
                     const sim::TraceConfig& trace_config,
                     const xform::TransformLibrary& xforms,
-                    const FactOptions& opts) {
+                    const FactOptions& opts, EvalCache* cache) {
   FactResult result;
 
   // Step 0: typical input traces, generated once and reused everywhere.
@@ -34,15 +34,22 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
   if (blocks.size() > opts.max_blocks) blocks.resize(opts.max_blocks);
   result.log.push_back(strfmt("partitioned into %zu block(s)", blocks.size()));
 
-  // Steps 3-7 per block: transform with interleaved scheduling.
+  // Steps 3-7 per block: transform with interleaved scheduling. One memo
+  // cache spans all blocks: they re-derive overlapping variants, and each
+  // block's root is the previous block's winner, so cross-block hits skip
+  // the profile+schedule+verify pipeline entirely.
   TransformEngine engine(lib, alloc, sel, opts.sched, opts.power, xforms,
                          opts.engine);
+  EvalCache local_cache;
+  EvalCache* shared = cache ? cache : &local_cache;
   ir::Function current = fn.clone();
   for (size_t b = 0; b < blocks.size(); ++b) {
     EngineResult er = engine.optimize(current, trace, opts.objective,
                                       blocks[b].stmt_ids,
-                                      result.initial_avg_len);
+                                      result.initial_avg_len, shared);
     result.evaluations += er.evaluations;
+    result.cache_hits += er.cache_hits;
+    result.cache_misses += er.cache_misses;
     result.quarantined += er.quarantined;
     for (const auto& [cls, n] : er.quarantine_by_class)
       result.quarantine_by_class[cls] += n;
@@ -74,6 +81,10 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
     result.final_power =
         power::estimate_power(result.schedule.stg, lib, opts.power);
   }
+  if (result.evaluations > 0)
+    result.log.push_back(strfmt(
+        "evaluation cache: %d hit(s) / %d request(s) across %zu block(s)",
+        result.cache_hits, result.evaluations, blocks.size()));
   result.log.push_back(strfmt("final: avg length %.2f, power %.4f (Vdd %.2fV)",
                               result.final_avg_len, result.final_power.power,
                               result.final_power.vdd));

@@ -31,7 +31,13 @@ struct FactResult {
   power::PowerEstimate final_power;   // Vdd-scaled in Power mode
   std::vector<std::string> applied;   // transform sequence
   std::vector<std::string> log;       // human-readable flow narration
+  /// Evaluation requests over all blocks; cache_hits of them were served
+  /// from the memo cache shared across the per-block engine runs (blocks
+  /// re-derive overlapping variants, and every block's root is the
+  /// previous block's winner), skipping profile+schedule+verify entirely.
   int evaluations = 0;
+  int cache_hits = 0;
+  int cache_misses = 0;
 
   // Robustness accounting aggregated over all per-block engine runs:
   int quarantined = 0;                // candidates removed by any gate
@@ -46,11 +52,15 @@ struct FactResult {
 ///  3. partition the STG into hot blocks,
 ///  4. per block, run the Apply_transforms search (throughput or power),
 ///  5. reschedule and report.
+///
+/// `cache` optionally carries memoized candidate evaluations across calls
+/// (design-space exploration re-running the flow over seeds/allocations);
+/// when null a flow-local cache still spans the per-block engine runs.
 FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                     const hlslib::Allocation& alloc,
                     const hlslib::FuSelection& sel,
                     const sim::TraceConfig& trace_config,
                     const xform::TransformLibrary& xforms,
-                    const FactOptions& opts);
+                    const FactOptions& opts, EvalCache* cache = nullptr);
 
 }  // namespace fact::opt

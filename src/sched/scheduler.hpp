@@ -82,12 +82,24 @@ class Scheduler {
   /// Schedules the function. The profile supplies branch probabilities
   /// (the paper's "simulate once, reuse"); it may be empty, in which case
   /// branches default to probability 0.5.
+  ///
+  /// Thread-safety: const and safe to call concurrently on one instance.
+  /// All mutable scheduling state (resource tables, wave fronts, the STG
+  /// under construction) lives in call-local structures; the members below
+  /// are read-only after construction. The optimizer relies on this — with
+  /// EngineOptions::jobs > 1 its worker threads schedule candidates
+  /// through one shared engine-owned Scheduler (see DESIGN.md §"Parallel
+  /// candidate evaluation"). Keep it that way: any future cache or
+  /// scratch buffer added to this class must be call-local or
+  /// internally synchronized.
   ScheduleResult schedule(const ir::Function& fn,
                           const sim::Profile& profile) const;
 
  private:
   // Stored by value: callers routinely pass temporaries (e.g.
   // FuSelection::defaults(lib)) and the scheduler may outlive them.
+  // Immutable after construction (the thread-safety contract of
+  // schedule() above).
   hlslib::Library lib_;
   hlslib::Allocation alloc_;
   hlslib::FuSelection sel_;

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace fact {
+
+/// A small reusable pool of worker threads for data-parallel loops. The
+/// optimizer's candidate-evaluation waves are its one customer, so the
+/// design favors correctness over throughput: work items are coarse
+/// (milliseconds each — a full apply/verify/schedule pipeline), so indices
+/// are claimed under a mutex and the per-item locking cost is noise.
+///
+/// A pool constructed with `threads <= 1` spawns nothing and runs every
+/// parallel_for inline on the caller, in index order — the degenerate pool
+/// is exactly a serial for-loop, which is what makes `jobs=1` runs trivially
+/// deterministic.
+class WorkerPool {
+ public:
+  /// Spawns `threads - 1` helper threads (the caller of parallel_for is
+  /// always the remaining worker).
+  explicit WorkerPool(int threads = 1);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs body(i) for every i in [0, n), distributing indices across the
+  /// pool; blocks until all n calls returned. Only one parallel_for may be
+  /// active at a time (the engine's waves are strictly sequential). If body
+  /// throws, the first exception is rethrown here after the loop drains.
+  void parallel_for(size_t n, const std::function<void(size_t)>& body);
+
+  /// std::thread::hardware_concurrency(), clamped to at least 1.
+  static int hardware_threads();
+
+ private:
+  void worker_loop();
+  /// Claims and executes items of job `job` until it is drained or retired.
+  void run_slice(uint64_t job);
+
+  int threads_;
+  std::vector<std::thread> pool_;
+
+  std::mutex mu_;
+  std::condition_variable cv_start_;
+  std::condition_variable cv_done_;
+  // Current job, all guarded by mu_. job_id_ is a generation counter: a
+  // worker may only claim items while the id it was woken for is still
+  // current, which keeps stragglers from stealing items of a later job.
+  uint64_t job_id_ = 0;
+  const std::function<void(size_t)>* job_body_ = nullptr;
+  size_t job_n_ = 0;
+  size_t job_next_ = 0;
+  size_t job_done_ = 0;
+  std::exception_ptr job_error_;
+  bool stop_ = false;
+};
+
+}  // namespace fact

@@ -26,7 +26,11 @@ struct Candidate {
 
 /// A behavioral transformation: enumerates candidates and applies one,
 /// producing a new (functionally equivalent) function. Implementations
-/// must be pure: apply() never mutates its input.
+/// must be pure: apply() never mutates its input. They must also be
+/// thread-safe under concurrent const calls — the optimizer invokes
+/// find()/apply() from worker threads when EngineOptions::jobs > 1, so
+/// a stateful implementation (e.g. one with a mutable RNG or counters)
+/// requires jobs = 1 or internal synchronization.
 class Transform {
  public:
   virtual ~Transform() = default;
@@ -59,7 +63,11 @@ class TransformLibrary {
   TransformLibrary& operator=(TransformLibrary&&) = default;
   /// Polymorphic: enumeration and application are virtual so wrappers (the
   /// fault-injection harness, instrumented libraries) can intercept them
-  /// behind the `const TransformLibrary&` the engine holds.
+  /// behind the `const TransformLibrary&` the engine holds. Overrides of
+  /// find_all()/apply() inherit the Transform thread-safety contract:
+  /// they run on engine worker threads when EngineOptions::jobs > 1
+  /// (verify::FaultInjector is not thread-safe, so fault-injection runs
+  /// keep the default jobs = 1).
   virtual ~TransformLibrary() = default;
 
   /// The full default suite.

@@ -3,6 +3,7 @@
 #include "ir/edit.hpp"
 #include "ir/expr.hpp"
 #include "ir/function.hpp"
+#include "ir/hash.hpp"
 #include "test_util.hpp"
 #include "util/error.hpp"
 
@@ -233,6 +234,111 @@ TEST(Edit, ClearIdsRecurses) {
   clear_ids(stmts);
   EXPECT_EQ(stmts[0]->id, -1);
   EXPECT_EQ(stmts[0]->then_stmts[0]->id, -1);
+}
+
+// ---- structural hashing ------------------------------------------------
+
+namespace {
+// A small but representative function: params, an array, an output, and
+// every statement kind (assign, store, if/else, while, nested block).
+Function hash_fixture() {
+  Function f("hf");
+  f.add_param("n");
+  f.add_array({"mem", 8, true});
+  f.add_output("s");
+  f.set_body(Stmt::block(make_vector(
+      Stmt::assign("i", c(0)), Stmt::assign("s", c(0)),
+      Stmt::while_stmt(
+          Expr::binary(Op::Lt, v("i"), v("n")),
+          make_vector(
+              Stmt::if_stmt(Expr::binary(Op::Gt, v("i"), c(2)),
+                            make_vector(Stmt::store("mem", v("i"), v("s"))),
+                            make_vector(Stmt::assign("s", c(7)))),
+              Stmt::assign("s",
+                           Expr::binary(Op::Add, v("s"),
+                                        Expr::array_read("mem", v("i")))),
+              Stmt::assign("i", Expr::binary(Op::Add, v("i"), c(1))))))));
+  f.renumber();
+  return f;
+}
+
+void bump_ids(Stmt& s) {
+  s.id += 100;
+  for (auto* list : s.child_lists())
+    for (auto& child : *list) bump_ids(*child);
+}
+}  // namespace
+
+TEST(StructuralHash, EqualFunctionsHashEqual) {
+  const Function a = hash_fixture();
+  const Function b = hash_fixture();
+  EXPECT_EQ(structural_hash(a), structural_hash(b));
+  EXPECT_EQ(structural_hash(a), structural_hash(a.clone()));
+}
+
+TEST(StructuralHash, IgnoresStatementIds) {
+  // The hash must match the old str()-based dedup semantics: statement ids
+  // are not rendered, so renumbering must not change the hash.
+  const Function a = hash_fixture();
+  Function b = hash_fixture();
+  bump_ids(*b.body());
+  EXPECT_EQ(structural_hash(a), structural_hash(b));
+}
+
+TEST(StructuralHash, MutationsChangeTheHash) {
+  const uint64_t base = structural_hash(hash_fixture());
+
+  {  // changed constant
+    Function f = hash_fixture();
+    f.body()->stmts[0]->value = c(1);
+    EXPECT_NE(structural_hash(f), base);
+  }
+  {  // renamed assignment target
+    Function f = hash_fixture();
+    f.body()->stmts[0]->target = "j";
+    EXPECT_NE(structural_hash(f), base);
+  }
+  {  // different operator deep inside the loop body
+    Function f = hash_fixture();
+    Stmt* wh = f.body()->stmts[2].get();
+    wh->then_stmts[2]->value =
+        Expr::binary(Op::Sub, v("i"), c(1));
+    EXPECT_NE(structural_hash(f), base);
+  }
+  {  // extra trailing statement
+    Function f = hash_fixture();
+    f.body()->stmts.push_back(Stmt::assign("t", c(0)));
+    f.renumber();
+    EXPECT_NE(structural_hash(f), base);
+  }
+  {  // statement moved across a child-list boundary (same statement set)
+    Function f = hash_fixture();
+    Stmt* wh = f.body()->stmts[2].get();
+    Stmt* br = wh->then_stmts[0].get();
+    br->else_stmts.push_back(std::move(br->then_stmts[0]));
+    br->then_stmts.clear();
+    EXPECT_NE(structural_hash(f), base);
+  }
+  {  // array metadata (size) differs
+    Function f = hash_fixture();
+    Function g("hf");
+    g.add_param("n");
+    g.add_array({"mem", 16, true});
+    g.add_output("s");
+    g.set_body(f.body()->clone());
+    g.renumber();
+    EXPECT_NE(structural_hash(g), base);
+  }
+}
+
+TEST(StructuralHash, DistinguishesStmtKindsWithSharedFields) {
+  // An If with an empty else and a While share (cond, one child list);
+  // only the kind tag separates them.
+  const StmtPtr a =
+      Stmt::if_stmt(v("p"), make_vector(Stmt::assign("x", c(1))));
+  const StmtPtr w =
+      Stmt::while_stmt(v("p"), make_vector(Stmt::assign("x", c(1))));
+  EXPECT_NE(structural_hash(*a), structural_hash(*w));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 #include "opt/baselines.hpp"
 #include "opt/fact.hpp"
 #include "opt/partition.hpp"
+#include "workloads/workloads.hpp"
 
 namespace fact::opt {
 namespace {
@@ -191,6 +192,147 @@ F(int n) {
   // Whatever wins must not be slower than the baseline.
   EXPECT_LE(r.best_eval.avg_len, base.avg_len * 1.01);
   EXPECT_LE(r.best_eval.vdd, 5.0);
+}
+
+// ---- parallel evaluation + memoization ---------------------------------
+
+TEST(Engine, JobsInvariantIncludingScoreTrace) {
+  Harness h;
+  const auto fn = parse(
+      "F(int a, int b, int c) { int x = a * b + a * c; int y = x + b + c + a; output y; }");
+  const sim::Trace trace = sim::generate_trace(fn, {}, 5);
+  const auto xforms = xform::TransformLibrary::standard();
+  EngineOptions opts;
+  opts.seed = 33;
+  auto run = [&](int jobs) {
+    EngineOptions o = opts;
+    o.jobs = jobs;
+    TransformEngine engine(h.lib, h.alloc, h.sel, h.sched_opts, h.power_opts,
+                           xforms, o);
+    return engine.optimize(fn, trace, Objective::Throughput, {}, 100.0);
+  };
+  const EngineResult r1 = run(1);
+  const EngineResult r4 = run(4);
+  EXPECT_EQ(r1.best.str(), r4.best.str());
+  EXPECT_EQ(r1.applied, r4.applied);
+  EXPECT_EQ(r1.score_trace, r4.score_trace);
+  EXPECT_EQ(r1.evaluations, r4.evaluations);
+  EXPECT_EQ(r1.cache_hits, r4.cache_hits);
+  EXPECT_EQ(r1.cache_misses, r4.cache_misses);
+  EXPECT_EQ(r1.quarantined, r4.quarantined);
+  EXPECT_EQ(r1.quarantine_by_class, r4.quarantine_by_class);
+  EXPECT_EQ(r1.rejected_nonequivalent, r4.rejected_nonequivalent);
+  EXPECT_EQ(r1.evaluations, r1.cache_hits + r1.cache_misses);
+}
+
+// The full determinism contract over every bundled Table 2 workload:
+// jobs=4 must reproduce jobs=1 byte-for-byte through the whole flow.
+class JobsDeterminism : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(JobsDeterminism, RunFactIdenticalAcrossJobs) {
+  const workloads::Workload w = workloads::by_name(GetParam());
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const auto xforms = xform::TransformLibrary::standard();
+  auto run = [&](int jobs) {
+    FactOptions opts;
+    opts.engine.jobs = jobs;
+    return run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, opts);
+  };
+  const FactResult r1 = run(1);
+  const FactResult r4 = run(4);
+  EXPECT_EQ(r1.optimized.str(), r4.optimized.str());
+  EXPECT_EQ(r1.applied, r4.applied);
+  EXPECT_EQ(r1.log, r4.log);
+  EXPECT_EQ(r1.evaluations, r4.evaluations);
+  EXPECT_EQ(r1.cache_hits, r4.cache_hits);
+  EXPECT_EQ(r1.cache_misses, r4.cache_misses);
+  EXPECT_EQ(r1.quarantined, r4.quarantined);
+  EXPECT_EQ(r1.quarantine_by_class, r4.quarantine_by_class);
+  EXPECT_EQ(r1.blocks_degraded, r4.blocks_degraded);
+  EXPECT_EQ(r1.truncated, r4.truncated);
+  EXPECT_DOUBLE_EQ(r1.final_avg_len, r4.final_avg_len);
+  EXPECT_DOUBLE_EQ(r1.final_power.power, r4.final_power.power);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table2, JobsDeterminism,
+                         ::testing::Values("GCD", "FIR", "TEST2", "SINTRAN",
+                                           "IGF", "PPS"));
+
+TEST(EvalCache, FirstInsertWinsAndKeysDiscriminate) {
+  EvalCache cache;
+  EvalCache::Entry ok;
+  ok.ok = true;
+  ok.eval.score = 1.5;
+  cache.insert(42, Objective::Throughput, 10.0, ok);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Re-inserting the same key is a no-op: the first entry sticks.
+  EvalCache::Entry other = ok;
+  other.eval.score = 9.9;
+  cache.insert(42, Objective::Throughput, 10.0, other);
+  EXPECT_EQ(cache.size(), 1u);
+  auto hit = cache.lookup(42, Objective::Throughput, 10.0);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_TRUE(hit->ok);
+  EXPECT_DOUBLE_EQ(hit->eval.score, 1.5);
+
+  // Same hash under a different objective or baseline is a different key.
+  EXPECT_FALSE(cache.lookup(42, Objective::Power, 10.0).has_value());
+  EXPECT_FALSE(cache.lookup(42, Objective::Throughput, 11.0).has_value());
+  EXPECT_FALSE(cache.lookup(43, Objective::Throughput, 10.0).has_value());
+
+  // Failures are memoized too.
+  EvalCache::Entry bad;
+  bad.ok = false;
+  bad.failure_class = "sched";
+  cache.insert(7, Objective::Power, 10.0, bad);
+  auto miss = cache.lookup(7, Objective::Power, 10.0);
+  ASSERT_TRUE(miss.has_value());
+  EXPECT_FALSE(miss->ok);
+  EXPECT_EQ(miss->failure_class, "sched");
+}
+
+TEST(EvalCache, SharedCacheServesRepeatFlows) {
+  const workloads::Workload w = workloads::by_name("GCD");
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const auto xforms = xform::TransformLibrary::standard();
+  FactOptions opts;
+
+  EvalCache cache;
+  const FactResult cold =
+      run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, opts, &cache);
+  EXPECT_GT(cache.size(), 0u);
+  const FactResult warm =
+      run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, opts, &cache);
+
+  // The repeat flow is served entirely from the memo cache and still
+  // reproduces the cold result exactly.
+  EXPECT_EQ(warm.cache_hits, warm.evaluations);
+  EXPECT_EQ(warm.cache_misses, 0);
+  EXPECT_EQ(warm.optimized.str(), cold.optimized.str());
+  EXPECT_EQ(warm.applied, cold.applied);
+  EXPECT_EQ(warm.quarantined, cold.quarantined);
+}
+
+TEST(EvalCache, MemoizeOffIsPureAblation) {
+  const workloads::Workload w = workloads::by_name("GCD");
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const auto xforms = xform::TransformLibrary::standard();
+  FactOptions on;
+  FactOptions off;
+  off.engine.memoize = false;
+  const FactResult a =
+      run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, on);
+  const FactResult b =
+      run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, off);
+  EXPECT_EQ(b.cache_hits, 0);
+  EXPECT_EQ(b.cache_misses, b.evaluations);
+  EXPECT_EQ(a.optimized.str(), b.optimized.str());
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(a.evaluations, b.evaluations);
 }
 
 // ---- baselines ---------------------------------------------------------

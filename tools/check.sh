@@ -1,18 +1,51 @@
 #!/usr/bin/env sh
-# Robustness gate: build the whole tree with AddressSanitizer + UBSan and
-# run the full test suite (including the fault-injection and verifier
-# tests) under it. Usage:
+# Robustness gate: build the whole tree under a sanitizer and run the full
+# test suite (including the fault-injection and verifier tests). Usage:
 #
-#   tools/check.sh [build-dir]
+#   [FACT_SANITIZE=address|thread] tools/check.sh [build-dir]
 #
-# The sanitized tree lives in its own build directory (default
-# build-asan) so the regular build stays untouched.
+# FACT_SANITIZE selects the sanitizer:
+#   address (default) - AddressSanitizer + UBSan over the full suite.
+#   thread            - ThreadSanitizer; runs the full suite (the engine
+#                       tests exercise multi-threaded candidate evaluation
+#                       via EngineOptions::jobs > 1, and the WorkerPool
+#                       tests hammer the pool handoff directly), then
+#                       re-runs the parallel engine + pool tests with
+#                       TSAN_OPTIONS=halt_on_error=1 so any data race in
+#                       the evaluation waves fails loudly.
+#
+# Each sanitized tree lives in its own build directory (default
+# build-asan / build-tsan) so the regular build stays untouched.
 set -eu
 
 repo_root=$(CDPATH= cd -- "$(dirname -- "$0")/.." && pwd)
-build_dir=${1:-"$repo_root/build-asan"}
+sanitize=${FACT_SANITIZE:-address}
 
-cmake -S "$repo_root" -B "$build_dir" -DFACT_SANITIZE=ON
+case "$sanitize" in
+  address|ON|on)
+    build_dir=${1:-"$repo_root/build-asan"}
+    cmake_flag=address
+    ;;
+  thread)
+    build_dir=${1:-"$repo_root/build-tsan"}
+    cmake_flag=thread
+    ;;
+  *)
+    echo "check.sh: unknown FACT_SANITIZE='$sanitize' (want address or thread)" >&2
+    exit 2
+    ;;
+esac
+
+cmake -S "$repo_root" -B "$build_dir" -DFACT_SANITIZE="$cmake_flag"
 cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure
-echo "check.sh: sanitized suite passed"
+
+if [ "$cmake_flag" = thread ]; then
+  # Focused multi-threaded pass: the tests that run the engine and the
+  # worker pool with jobs > 1, with races promoted to hard failures.
+  TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
+    ctest --test-dir "$build_dir" --output-on-failure \
+      -R 'WorkerPool|JobsInvariant|JobsDeterminism|EvalCache'
+fi
+
+echo "check.sh: sanitized suite ($cmake_flag) passed"

@@ -11,6 +11,9 @@
 //   --seed <n>                     trace seed (default 7)
 //   --validate off|fast|full       per-candidate invariant checking (fast)
 //   --deadline-ms <n>              per-block search budget; best-so-far
+//   --jobs <n>                     worker threads for candidate evaluation
+//                                  (default: hardware concurrency; results
+//                                  are identical for any value)
 //   --no-fuse                      disable concurrent-loop fusion (RTL-exact)
 //   --emit-verilog <file>          write the optimized design's Verilog
 //   --emit-stg <file>              write the optimized design's STG (DOT)
@@ -47,6 +50,7 @@ struct Args {
   std::string emit_verilog, emit_stg, emit_cdfg;
   double clock_ns = 25.0;
   double deadline_ms = 0.0;
+  int jobs = 0;  // 0 = hardware concurrency
   uint64_t seed = 7;
   bool no_fuse = false;
   bool binding = false;
@@ -59,7 +63,7 @@ struct Args {
           "usage: factc <source.fact> | --benchmark <NAME>\n"
           "  [--objective throughput|power] [--method fact|flamel|m1|all]\n"
           "  [--alloc a1=2,sb1=1,...] [--clock <ns>] [--seed <n>] [--no-fuse]\n"
-          "  [--validate off|fast|full] [--deadline-ms <n>]\n"
+          "  [--validate off|fast|full] [--deadline-ms <n>] [--jobs <n>]\n"
           "  [--emit-verilog <f>] [--emit-stg <f>] [--emit-cdfg <f>]\n"
           "  [--binding] [--quiet]\n");
   exit(2);
@@ -115,6 +119,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--seed") a.seed = parse_u64(next(), arg);
     else if (arg == "--validate") a.validate = next();
     else if (arg == "--deadline-ms") a.deadline_ms = parse_double(next(), arg);
+    else if (arg == "--jobs") a.jobs = static_cast<int>(parse_u64(next(), arg));
     else if (arg == "--no-fuse") a.no_fuse = true;
     else if (arg == "--emit-verilog") a.emit_verilog = next();
     else if (arg == "--emit-stg") a.emit_stg = next();
@@ -232,12 +237,16 @@ int main(int argc, char** argv) {
       fo.engine.validate = verify::level_from_string(args.validate);
       if (args.deadline_ms < 0) throw Error("--deadline-ms must be >= 0");
       fo.engine.deadline_ms = args.deadline_ms;
+      fo.engine.jobs = args.jobs;  // 0 = hardware concurrency
       const auto xf = xform::TransformLibrary::standard();
       const opt::FactResult r =
           opt::run_fact(fn, lib, alloc, sel, traces, xf, fo);
       line("FACT", r.final_avg_len, r.final_power.power, r.applied.size());
       if (r.truncated)
         printf("note: search budget exhausted; result is best-so-far\n");
+      if (!args.quiet && r.evaluations > 0)
+        printf("evaluations: %d (%d served from the memo cache)\n",
+               r.evaluations, r.cache_hits);
       if (!args.quiet && r.quarantined > 0) {
         printf("quarantined %d candidate(s):", r.quarantined);
         for (const auto& [cls, n] : r.quarantine_by_class)
