@@ -1,0 +1,37 @@
+#pragma once
+
+// BENCH_fact.json holds one top-level key per bench so the binaries can run
+// in any order without clobbering each other. Each bench builds its payload
+// and merges it into whatever the file already holds.
+
+#include <fstream>
+#include <sstream>
+
+#include "serve/json.hpp"
+#include "util/error.hpp"
+
+namespace fact::bench {
+
+inline void merge_bench_json(const std::string& path, const std::string& key,
+                             serve::Json payload) {
+  serve::Json root = serve::Json::object();
+  {
+    std::ifstream in(path);
+    if (in) {
+      std::stringstream ss;
+      ss << in.rdbuf();
+      try {
+        serve::Json existing = serve::Json::parse(ss.str());
+        if (existing.is_object()) root = std::move(existing);
+      } catch (const Error&) {
+        // Pre-merge or corrupt file: rebuild it around this bench's entry.
+      }
+    }
+  }
+  root.set(key, std::move(payload));
+  std::ofstream out(path);
+  if (!out) throw Error("cannot write " + path);
+  out << root.dump() << "\n";
+}
+
+}  // namespace fact::bench

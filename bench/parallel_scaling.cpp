@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "bench_merge.hpp"
 #include "bench_util.hpp"
 #include "util/parallel.hpp"
 
@@ -78,7 +79,6 @@ int main(int argc, char** argv) {
 
   bench::Json json;
   json.begin_object();
-  json.key("bench").value("parallel_scaling");
   json.key("jobs").value(jobs);
   json.key("hardware_threads").value(WorkerPool::hardware_threads());
   json.key("workloads").begin_array();
@@ -180,7 +180,8 @@ int main(int argc, char** argv) {
   json.key("total_warm_cache_hit_rate").value(total_warm_hit_rate);
   json.key("all_identical").value(all_identical);
   json.end_object();
-  json.write(out_path);
-  printf("wrote %s\n", out_path.c_str());
+  bench::merge_bench_json(out_path, "parallel_scaling",
+                          serve::Json::parse(json.str()));
+  printf("merged parallel_scaling into %s\n", out_path.c_str());
   return all_identical ? 0 : 1;
 }

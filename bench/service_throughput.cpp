@@ -1,0 +1,165 @@
+// Service throughput bench: drives the in-process factd Service with 1, 4
+// and 16 concurrent clients and reports requests/sec and p50/p99 client-side
+// latency, cold cache vs warm. Each client pipelines `optimize` requests
+// round-robin over the fast Table 2 workloads; the warm phase re-sends the
+// same requests to the same service, so every evaluation is served from the
+// process-wide EvalCache and only the front end (parse/profile) re-runs.
+//
+// Results merge into BENCH_fact.json under "service_throughput" alongside
+// the parallel_scaling entry.
+//
+//   service_throughput [--requests N] [--out BENCH_fact.json]
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_merge.hpp"
+#include "bench_util.hpp"
+#include "serve/service.hpp"
+#include "util/parallel.hpp"
+
+namespace {
+
+using namespace fact;
+using serve::Json;
+
+// The fast third of Table 2; TEST2/SINTRAN take ~1s per cold optimize and
+// would turn a 16-client sweep into minutes on a small container.
+const char* kWorkloads[] = {"GCD", "IGF", "PPS"};
+
+struct Phase {
+  double wall_ms = 0.0;
+  std::vector<double> latencies_ms;  // per request, client-side
+
+  double req_per_s(size_t requests) const {
+    return wall_ms > 0.0 ? 1000.0 * static_cast<double>(requests) / wall_ms
+                         : 0.0;
+  }
+  double pct(double q) const {
+    if (latencies_ms.empty()) return 0.0;
+    std::vector<double> sorted = latencies_ms;
+    std::sort(sorted.begin(), sorted.end());
+    const double idx = q * static_cast<double>(sorted.size() - 1);
+    return sorted[static_cast<size_t>(std::llround(idx))];
+  }
+};
+
+Json request_for(int id, const char* workload) {
+  Json req = Json::object();
+  req.set("type", "optimize");
+  req.set("id", id);
+  req.set("benchmark", workload);
+  req.set("quiet", true);
+  return req;
+}
+
+/// One load wave: `clients` threads, each sending `per_client` requests
+/// back-to-back and blocking on every response (closed-loop clients).
+Phase run_phase(serve::Service& svc, int clients, int per_client,
+                bool& all_ok) {
+  Phase phase;
+  std::vector<std::vector<double>> lat(static_cast<size_t>(clients));
+  std::vector<std::thread> threads;
+  std::atomic<bool> ok{true};
+  const auto t0 = std::chrono::steady_clock::now();
+  for (int c = 0; c < clients; ++c)
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < per_client; ++r) {
+        const char* w = kWorkloads[(c + r) % std::size(kWorkloads)];
+        const auto s0 = std::chrono::steady_clock::now();
+        const Json resp = svc.submit(request_for(r + 1, w)).wait();
+        lat[static_cast<size_t>(c)].push_back(
+            std::chrono::duration<double, std::milli>(
+                std::chrono::steady_clock::now() - s0)
+                .count());
+        if (!resp.get_bool("ok")) ok = false;
+      }
+    });
+  for (auto& t : threads) t.join();
+  phase.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - t0)
+                      .count();
+  for (const auto& l : lat)
+    phase.latencies_ms.insert(phase.latencies_ms.end(), l.begin(), l.end());
+  all_ok = all_ok && ok.load();
+  return phase;
+}
+
+Json phase_json(const Phase& p, size_t requests) {
+  Json j = Json::object();
+  j.set("req_per_s", p.req_per_s(requests));
+  j.set("p50_ms", p.pct(0.50));
+  j.set("p99_ms", p.pct(0.99));
+  j.set("wall_ms", p.wall_ms);
+  return j;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int per_client = 6;
+  std::string out_path = "BENCH_fact.json";
+  for (int i = 1; i < argc; ++i) {
+    if (!strcmp(argv[i], "--requests") && i + 1 < argc)
+      per_client = atoi(argv[++i]);
+    else if (!strcmp(argv[i], "--out") && i + 1 < argc)
+      out_path = argv[++i];
+    else {
+      fprintf(stderr, "usage: service_throughput [--requests N] [--out FILE]\n");
+      return 2;
+    }
+  }
+
+  printf("factd service throughput: closed-loop clients x %d requests each "
+         "(%d hardware thread(s))\n",
+         per_client, WorkerPool::hardware_threads());
+  bench::rule('=');
+  printf("%-8s %9s %18s %18s %9s %18s\n", "clients", "cold r/s",
+         "cold p50/p99 ms", "warm p50/p99 ms", "warm r/s", "warm speedup");
+  bench::rule();
+
+  Json clients_json = Json::array();
+  bool all_ok = true;
+  for (const int clients : {1, 4, 16}) {
+    // A fresh service per client count: the cold phase really is cold.
+    serve::Service svc;
+    const size_t requests =
+        static_cast<size_t>(clients) * static_cast<size_t>(per_client);
+    const Phase cold = run_phase(svc, clients, per_client, all_ok);
+    const Phase warm = run_phase(svc, clients, per_client, all_ok);
+
+    const double speedup =
+        warm.wall_ms > 0.0 ? cold.wall_ms / warm.wall_ms : 0.0;
+    printf("%-8d %9.1f %8.1f /%8.1f %8.1f /%8.1f %9.1f %17.2fx\n", clients,
+           cold.req_per_s(requests), cold.pct(0.50), cold.pct(0.99),
+           warm.pct(0.50), warm.pct(0.99), warm.req_per_s(requests), speedup);
+
+    Json entry = Json::object();
+    entry.set("clients", clients);
+    entry.set("requests", static_cast<int64_t>(requests));
+    entry.set("cold", phase_json(cold, requests));
+    entry.set("warm", phase_json(warm, requests));
+    entry.set("warm_speedup", speedup);
+    clients_json.push_back(std::move(entry));
+  }
+  bench::rule();
+  if (!all_ok) printf("ERROR: some requests failed\n");
+
+  Json payload = Json::object();
+  payload.set("requests_per_client", per_client);
+  payload.set("hardware_threads", WorkerPool::hardware_threads());
+  Json names = Json::array();
+  for (const char* w : kWorkloads) names.push_back(Json(w));
+  payload.set("workloads", std::move(names));
+  payload.set("clients", std::move(clients_json));
+  payload.set("all_ok", all_ok);
+  bench::merge_bench_json(out_path, "service_throughput", std::move(payload));
+  printf("merged service_throughput into %s\n", out_path.c_str());
+  return all_ok ? 0 : 1;
+}

@@ -1,6 +1,7 @@
 #include "hlslib/library.hpp"
 
 #include <cmath>
+#include <sstream>
 
 #include "util/error.hpp"
 
@@ -125,6 +126,37 @@ FuClass op_fu_class(ir::Op op) {
     default:
       return FuClass::None;
   }
+}
+
+Allocation parse_allocation(const std::string& spec, const Library& lib) {
+  Allocation alloc;
+  if (spec.empty()) {
+    for (const auto& t : lib.types()) alloc.counts[t.name] = 2;
+    return alloc;
+  }
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const size_t eq = item.find('=');
+    if (eq == std::string::npos)
+      throw Error("bad allocation entry '" + item + "' (want fu=count)");
+    const std::string name = item.substr(0, eq);
+    if (!lib.find(name)) throw Error("unknown FU type " + name);
+    const std::string count_text = item.substr(eq + 1);
+    int count = 0;
+    try {
+      size_t pos = 0;
+      count = std::stoi(count_text, &pos);
+      if (pos != count_text.size()) throw Error("");
+    } catch (const std::exception&) {
+      throw Error("bad allocation count '" + count_text + "' for " + name);
+    }
+    if (count <= 0)
+      throw Error("allocation count for " + name + " must be positive (got " +
+                  count_text + ")");
+    alloc.counts[name] = count;
+  }
+  return alloc;
 }
 
 double delay_scale(double vdd, double vt) {

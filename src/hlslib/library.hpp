@@ -83,6 +83,13 @@ struct Allocation {
   }
 };
 
+/// Parses an allocation spec of the form "a1=2,sb1=1,..." against `lib`
+/// (unknown FU types, malformed counts, and non-positive counts throw
+/// fact::Error). An empty spec yields the default allocation: two
+/// instances of every library type. Shared by factc, factd and factcli so
+/// every entry point builds identical allocations from identical specs.
+Allocation parse_allocation(const std::string& spec, const Library& lib);
+
 /// Functional-unit selection: which library type implements each operation
 /// kind. Defaults map each Op onto the first library type of its class.
 struct FuSelection {

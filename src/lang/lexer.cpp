@@ -1,6 +1,7 @@
 #include "lang/lexer.hpp"
 
 #include <cctype>
+#include <cstdint>
 #include <unordered_map>
 
 #include "util/error.hpp"
@@ -92,7 +93,12 @@ std::vector<Token> tokenize(const std::string& source) {
     if (std::isdigit(static_cast<unsigned char>(c))) {
       int64_t v = 0;
       while (std::isdigit(static_cast<unsigned char>(peek()))) {
-        v = v * 10 + (peek() - '0');
+        const int64_t digit = peek() - '0';
+        // Server-supplied sources reach this lexer; an oversized literal
+        // must be a diagnostic, never signed-overflow UB.
+        if (v > (INT64_MAX - digit) / 10)
+          throw ParseError("integer literal too large", tl, tc);
+        v = v * 10 + digit;
         advance();
       }
       Token t;

@@ -38,6 +38,24 @@ class Parser {
   }
 
  private:
+  // Recursion budget shared by statement and expression descent. The
+  // parser consumes untrusted input (factd accepts behaviors over a
+  // socket), so pathological nesting — "((((…", "!!!!…", or thousands of
+  // nested ifs — must surface as a ParseError instead of exhausting the
+  // stack and killing the process.
+  static constexpr int kMaxDepth = 200;
+
+  struct DepthGuard {
+    explicit DepthGuard(Parser& p) : parser(p) {
+      if (parser.depth_ >= kMaxDepth)
+        parser.fail("nesting too deep (limit " + std::to_string(kMaxDepth) +
+                    ")");
+      ++parser.depth_;
+    }
+    ~DepthGuard() { --parser.depth_; }
+    Parser& parser;
+  };
+
   const Token& peek(size_t off = 0) const {
     const size_t i = pos_ + off;
     return i < toks_.size() ? toks_[i] : toks_.back();
@@ -101,6 +119,7 @@ class Parser {
   }
 
   StmtPtr parse_stmt() {
+    DepthGuard guard(*this);
     if (check(Tok::KwIf)) return parse_if();
     if (check(Tok::KwWhile)) return parse_while();
     if (check(Tok::KwFor)) return parse_for();
@@ -210,7 +229,10 @@ class Parser {
   }
 
   // ---- expressions, standard precedence climbing ----------------------
-  ExprPtr parse_expr() { return parse_ternary(); }
+  ExprPtr parse_expr() {
+    DepthGuard guard(*this);
+    return parse_ternary();
+  }
 
   ExprPtr parse_ternary() {
     ExprPtr cond = parse_or();
@@ -283,6 +305,7 @@ class Parser {
   }
 
   ExprPtr parse_unary() {
+    DepthGuard guard(*this);  // "!!!!…" recurses here without parse_expr
     if (accept(Tok::Bang)) return Expr::unary(Op::Not, parse_unary());
     if (accept(Tok::Tilde)) return Expr::unary(Op::BitNot, parse_unary());
     if (accept(Tok::Minus)) {
@@ -316,6 +339,7 @@ class Parser {
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace

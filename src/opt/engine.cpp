@@ -30,6 +30,8 @@ struct Member {
 
 // ---- EvalCache ---------------------------------------------------------
 
+EvalCache::EvalCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+
 EvalCache::Key EvalCache::make_key(uint64_t h, Objective o,
                                    double baseline_len) {
   uint64_t bits;
@@ -52,14 +54,32 @@ std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t structural_hash,
   std::lock_guard<std::mutex> lock(mu_);
   const auto it = map_.find(make_key(structural_hash, objective, baseline_len));
   if (it == map_.end()) return std::nullopt;
-  return it->second;
+  return it->second.entry;
 }
 
 void EvalCache::insert(uint64_t structural_hash, Objective objective,
                        double baseline_len, Entry entry) {
   std::lock_guard<std::mutex> lock(mu_);
-  map_.try_emplace(make_key(structural_hash, objective, baseline_len),
-                   std::move(entry));
+  const Key key = make_key(structural_hash, objective, baseline_len);
+  const auto it = map_.find(key);
+  if (it != map_.end()) {
+    // First insertion wins; a re-insert just counts as a use.
+    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    return;
+  }
+  lru_.push_front(key);
+  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
+  while (map_.size() > capacity_) {
+    map_.erase(lru_.back());
+    lru_.pop_back();
+  }
+}
+
+void EvalCache::touch(uint64_t structural_hash, Objective objective,
+                      double baseline_len) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto it = map_.find(make_key(structural_hash, objective, baseline_len));
+  if (it != map_.end()) lru_.splice(lru_.begin(), lru_, it->second.lru);
 }
 
 size_t EvalCache::size() const {
@@ -137,17 +157,22 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   result.best = fn.clone();
 
   // Memoized evaluations: shared across calls when the caller provides a
-  // cache (run_fact does, one per flow), run-local otherwise.
-  EvalCache local_cache;
+  // cache (run_fact does, one per flow; factd one per process), run-local
+  // otherwise.
+  EvalCache local_cache(opts_.cache_cap);
   EvalCache& cache = shared_cache ? *shared_cache : local_cache;
 
   // The pool only parallelizes per-candidate work (apply/verify/
   // equivalence/evaluate); neighborhood generation, the RNG, and every
   // reduction over candidate outcomes stay on this thread, in submission
   // order — which is what makes results independent of the jobs count.
+  // A caller-provided pool is borrowed (factd shares one across engines);
+  // otherwise a private pool of `jobs` threads lives for this call.
   const int jobs =
       opts_.jobs <= 0 ? WorkerPool::hardware_threads() : opts_.jobs;
-  WorkerPool pool(jobs);
+  std::optional<WorkerPool> own_pool;
+  if (!opts_.pool) own_pool.emplace(jobs);
+  WorkerPool& pool = opts_.pool ? *opts_.pool : *own_pool;
 
   // Reads-before-def present in the *input* behavior are legal (registers
   // read as 0); candidates may not enlarge the set.
@@ -157,6 +182,10 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
 
   auto out_of_budget = [&]() {
     if (result.truncated) return true;
+    if (opts_.cancel && opts_.cancel->load(std::memory_order_relaxed)) {
+      result.truncated = true;
+      return true;
+    }
     if (opts_.max_evaluations > 0 &&
         result.evaluations >= opts_.max_evaluations) {
       result.truncated = true;
@@ -224,6 +253,7 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
     result.evaluations++;
     if (hit) {
       result.cache_hits++;
+      cache.touch(m.hash, objective, baseline_len);
     } else {
       result.cache_misses++;
       if (opts_.memoize) cache.insert(m.hash, objective, baseline_len, entry);

@@ -1,6 +1,8 @@
 #pragma once
 
+#include <atomic>
 #include <cstdint>
+#include <list>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -12,6 +14,7 @@
 #include "power/power.hpp"
 #include "sched/scheduler.hpp"
 #include "sim/trace.hpp"
+#include "util/parallel.hpp"
 #include "util/rng.hpp"
 #include "verify/verify.hpp"
 #include "xform/transform.hpp"
@@ -66,6 +69,27 @@ struct EngineOptions {
   /// profile+schedule+verify pipeline. Results are identical either way —
   /// cached entries are exactly what recomputation would produce.
   bool memoize = true;
+
+  /// Upper bound on EvalCache entries (LRU eviction past it); applies to
+  /// the engine's run-local cache and is the construction default for
+  /// caller-owned caches. Generous by default — one entry is a few hundred
+  /// bytes, so the cap mainly keeps a long-lived daemon from growing
+  /// without limit.
+  size_t cache_cap = 1 << 18;
+
+  /// Cooperative cancellation: when non-null and set, the search stops at
+  /// the next budget check and returns best-so-far with
+  /// EngineResult::truncated (same contract as an expired deadline). The
+  /// pointee must outlive the optimize() call; factd maps per-request
+  /// `cancel` onto it.
+  const std::atomic<bool>* cancel = nullptr;
+
+  /// Worker pool to evaluate candidates on. When null the engine spawns a
+  /// private pool of `jobs` threads per optimize() call; when set, the
+  /// pool is borrowed (not owned) and `jobs` is ignored — several engines
+  /// may share one pool (WorkerPool serializes waves and degrades
+  /// contended calls to inline execution, which never changes results).
+  WorkerPool* pool = nullptr;
 };
 
 /// Why and where a candidate was quarantined instead of evaluated.
@@ -87,11 +111,16 @@ struct Evaluation {
 /// baseline_len). run_fact shares one cache across its per-block engine
 /// runs: blocks repeatedly re-derive overlapping variants (and every
 /// block's root is the previous block's winner), and a hit skips the full
-/// profile+schedule+verify pipeline. Failed evaluations are memoized too,
-/// so a known-bad variant quarantines again without re-running the
-/// scheduler. Thread-safe; the engine only inserts during its serial
-/// reduction step, so lookups within one evaluation wave see a frozen
-/// cache and hit/miss counts are independent of `jobs`.
+/// profile+schedule+verify pipeline. factd shares one process-wide cache
+/// across all sessions. Failed evaluations are memoized too, so a
+/// known-bad variant quarantines again without re-running the scheduler.
+///
+/// Bounded: at most `capacity` entries, evicting least-recently-used past
+/// it so a long-lived daemon cannot grow memory without limit. Recency is
+/// advanced only by insert() and touch() — both called from the engine's
+/// serial reduction step — never by lookup(), so lookups within one
+/// evaluation wave see a frozen cache and hit/miss counts are independent
+/// of `jobs`. Thread-safe throughout.
 class EvalCache {
  public:
   struct Entry {
@@ -101,13 +130,22 @@ class EvalCache {
     std::string message;        // diagnostic when !ok
   };
 
+  /// Default capacity mirrors EngineOptions::cache_cap.
+  explicit EvalCache(size_t capacity = 1 << 18);
+
   std::optional<Entry> lookup(uint64_t structural_hash, Objective objective,
                               double baseline_len) const;
-  /// First insertion wins; re-inserting the same key is a no-op (the engine
-  /// re-requests a key only when dedup already collapsed it).
+  /// First insertion wins; re-inserting the same key only refreshes its
+  /// recency (the engine re-requests a key only when dedup already
+  /// collapsed it). Evicts the least-recently-used entry past capacity.
   void insert(uint64_t structural_hash, Objective objective,
               double baseline_len, Entry entry);
+  /// Marks a key most-recently-used (no-op when absent). The engine calls
+  /// this on every cache hit, from the serial reduction.
+  void touch(uint64_t structural_hash, Objective objective,
+             double baseline_len);
   size_t size() const;
+  size_t capacity() const { return capacity_; }
 
  private:
   struct Key {
@@ -121,8 +159,15 @@ class EvalCache {
   };
   static Key make_key(uint64_t h, Objective o, double baseline_len);
 
+  struct Slot {
+    Entry entry;
+    std::list<Key>::iterator lru;  // position in lru_ (front = most recent)
+  };
+
+  const size_t capacity_;
   mutable std::mutex mu_;
-  std::unordered_map<Key, Entry, KeyHash> map_;
+  std::unordered_map<Key, Slot, KeyHash> map_;
+  std::list<Key> lru_;
 };
 
 struct EngineResult {

@@ -9,13 +9,17 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                     const hlslib::FuSelection& sel,
                     const sim::TraceConfig& trace_config,
                     const xform::TransformLibrary& xforms,
-                    const FactOptions& opts, EvalCache* cache) {
+                    const FactOptions& opts, EvalCache* cache,
+                    const sim::Trace* pinned_trace) {
   FactResult result;
 
-  // Step 0: typical input traces, generated once and reused everywhere.
+  // Step 0: typical input traces, generated once and reused everywhere —
+  // or pinned by the caller (factd sessions) to skip regeneration.
   sim::TraceConfig tc = trace_config;
   if (tc.executions == 0) tc.executions = opts.trace_executions;
-  const sim::Trace trace = sim::generate_trace(fn, tc, opts.seed);
+  sim::Trace generated;
+  if (!pinned_trace) generated = sim::generate_trace(fn, tc, opts.seed);
+  const sim::Trace& trace = pinned_trace ? *pinned_trace : generated;
   const sim::Profile profile = sim::profile_function(fn, trace);
 
   // Step 1: schedule the input behavior — the "base case" every
@@ -90,6 +94,40 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                               result.final_power.vdd));
   result.optimized = std::move(current);
   return result;
+}
+
+std::string render_fact_report(const FactResult& r, Objective objective,
+                               bool quiet) {
+  std::string out = strfmt(
+      "%-7s avg length %10.2f cycles | throughput %8.3f (x1000/cyc) "
+      "| power %8.3f | %zu transform(s)\n",
+      "FACT", r.final_avg_len, 1000.0 / r.final_avg_len,
+      r.final_power.power, r.applied.size());
+  if (r.truncated)
+    out += "note: search budget exhausted; result is best-so-far\n";
+  if (!quiet && r.evaluations > 0)
+    out += strfmt("evaluations: %d (%d served from the memo cache)\n",
+                  r.evaluations, r.cache_hits);
+  if (!quiet && r.quarantined > 0) {
+    out += strfmt("quarantined %d candidate(s):", r.quarantined);
+    for (const auto& [cls, n] : r.quarantine_by_class)
+      out += strfmt(" %s=%d", cls.c_str(), n);
+    out += "\n";
+    if (r.blocks_degraded > 0)
+      out += strfmt("%d block(s) degraded to the baseline design\n",
+                    r.blocks_degraded);
+  }
+  if (!quiet) {
+    out += strfmt("\nbaseline (untransformed): %.2f cycles, %.3f power\n",
+                  r.initial_avg_len, r.initial_power.power);
+    if (objective == Objective::Power)
+      out += strfmt("scaled Vdd: %.2f V (iso-throughput with the baseline)\n",
+                    r.final_power.vdd);
+    out += "\ntransforms applied:\n";
+    for (const auto& t : r.applied) out += strfmt("  %s\n", t.c_str());
+    out += "\ntransformed behavior:\n" + r.optimized.str();
+  }
+  return out;
 }
 
 }  // namespace fact::opt

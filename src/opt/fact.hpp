@@ -54,13 +54,28 @@ struct FactResult {
 ///  5. reschedule and report.
 ///
 /// `cache` optionally carries memoized candidate evaluations across calls
-/// (design-space exploration re-running the flow over seeds/allocations);
-/// when null a flow-local cache still spans the per-block engine runs.
+/// (design-space exploration re-running the flow over seeds/allocations;
+/// factd shares one across all sessions); when null a flow-local cache
+/// still spans the per-block engine runs.
+///
+/// `trace` optionally supplies the typical-input trace instead of
+/// generating it: factd sessions pin the generated trace so follow-up
+/// requests skip regeneration. Passing the trace that
+/// sim::generate_trace(fn, trace_config, opts.seed) would produce is
+/// byte-equivalent to passing null.
 FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                     const hlslib::Allocation& alloc,
                     const hlslib::FuSelection& sel,
                     const sim::TraceConfig& trace_config,
                     const xform::TransformLibrary& xforms,
-                    const FactOptions& opts, EvalCache* cache = nullptr);
+                    const FactOptions& opts, EvalCache* cache = nullptr,
+                    const sim::Trace* trace = nullptr);
+
+/// Renders the FACT result exactly as `factc` prints it (the "FACT ..."
+/// summary line through the transformed behavior). factd returns this
+/// string in optimize responses; the end-to-end determinism test diffs it
+/// byte-for-byte against `factc` batch output.
+std::string render_fact_report(const FactResult& r, Objective objective,
+                               bool quiet);
 
 }  // namespace fact::opt

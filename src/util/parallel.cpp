@@ -24,17 +24,45 @@ int WorkerPool::hardware_threads() {
   return n == 0 ? 1 : static_cast<int>(n);
 }
 
+namespace {
+
+/// Serial fallback with the same drain semantics as the distributed path:
+/// every index runs, the first exception is rethrown after the loop.
+void run_inline(size_t n, const std::function<void(size_t)>& body) {
+  std::exception_ptr first;
+  for (size_t i = 0; i < n; ++i) {
+    try {
+      body(i);
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+}  // namespace
+
 void WorkerPool::parallel_for(size_t n,
                               const std::function<void(size_t)>& body) {
   if (n == 0) return;
   if (pool_.empty()) {
-    for (size_t i = 0; i < n; ++i) body(i);
+    run_inline(n, body);
     return;
   }
 
   uint64_t job;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    std::unique_lock<std::mutex> lock(mu_);
+    if (job_active_) {
+      // Another parallel_for owns the workers — either a concurrent caller
+      // or our own job, reentered from inside a body. Blocking here would
+      // deadlock the nested case and stall the concurrent one (the waiting
+      // thread is itself a worker), so degrade to an inline serial loop.
+      lock.unlock();
+      run_inline(n, body);
+      return;
+    }
+    job_active_ = true;
     job_body_ = &body;
     job_n_ = n;
     job_next_ = 0;
@@ -48,6 +76,7 @@ void WorkerPool::parallel_for(size_t n,
   std::unique_lock<std::mutex> lock(mu_);
   cv_done_.wait(lock, [&] { return job_done_ == job_n_; });
   job_body_ = nullptr;
+  job_active_ = false;
   if (job_error_) {
     std::exception_ptr e = job_error_;
     job_error_ = nullptr;

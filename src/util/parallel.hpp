@@ -10,15 +10,26 @@
 namespace fact {
 
 /// A small reusable pool of worker threads for data-parallel loops. The
-/// optimizer's candidate-evaluation waves are its one customer, so the
-/// design favors correctness over throughput: work items are coarse
-/// (milliseconds each — a full apply/verify/schedule pipeline), so indices
-/// are claimed under a mutex and the per-item locking cost is noise.
+/// customers are the optimizer's candidate-evaluation waves and the factd
+/// service's request batches, so the design favors correctness over
+/// throughput: work items are coarse (milliseconds each — a full
+/// apply/verify/schedule pipeline), so indices are claimed under a mutex
+/// and the per-item locking cost is noise.
 ///
 /// A pool constructed with `threads <= 1` spawns nothing and runs every
 /// parallel_for inline on the caller, in index order — the degenerate pool
 /// is exactly a serial for-loop, which is what makes `jobs=1` runs trivially
 /// deterministic.
+///
+/// One pool may be shared by several concurrent callers (the daemon's
+/// request batches and the engines inside them): only one parallel_for
+/// distributes onto the workers at a time, and any call arriving while a
+/// job is active — from another thread, or nested from inside a worker —
+/// simply runs its whole loop inline on the caller. Inline execution has
+/// the same semantics as the distributed path (every index runs exactly
+/// once, in order; the first body exception is rethrown after the loop
+/// drains), so which path a call takes is unobservable to the caller.
+/// Destruction may not race with an active parallel_for.
 class WorkerPool {
  public:
   /// Spawns `threads - 1` helper threads (the caller of parallel_for is
@@ -32,9 +43,11 @@ class WorkerPool {
   int threads() const { return threads_; }
 
   /// Runs body(i) for every i in [0, n), distributing indices across the
-  /// pool; blocks until all n calls returned. Only one parallel_for may be
-  /// active at a time (the engine's waves are strictly sequential). If body
-  /// throws, the first exception is rethrown here after the loop drains.
+  /// pool; blocks until all n calls returned. Safe to call concurrently
+  /// from several threads and reentrantly from inside a body: whenever a
+  /// job is already active the call degrades to an inline serial loop on
+  /// the caller. If body throws, the first exception is rethrown here
+  /// after the loop drains.
   void parallel_for(size_t n, const std::function<void(size_t)>& body);
 
   /// std::thread::hardware_concurrency(), clamped to at least 1.
@@ -55,6 +68,7 @@ class WorkerPool {
   // worker may only claim items while the id it was woken for is still
   // current, which keeps stragglers from stealing items of a later job.
   uint64_t job_id_ = 0;
+  bool job_active_ = false;  // a parallel_for currently owns the workers
   const std::function<void(size_t)>* job_body_ = nullptr;
   size_t job_n_ = 0;
   size_t job_next_ = 0;

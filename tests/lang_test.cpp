@@ -128,5 +128,89 @@ TEST(Parser, TrailingGarbageRejected) {
   EXPECT_THROW(parse_function("F() { } G() { }"), ParseError);
 }
 
+// ---- hostile-input hardening -------------------------------------------
+// factd feeds this parser text straight off a socket, so every malformed
+// input must surface as fact::Error — never UB, stack exhaustion, or an
+// abort that takes the daemon down.
+
+TEST(Parser, BadInputCorpusAllThrowCleanly) {
+  const char* corpus[] = {
+      "",                                 // empty source
+      "F",                                // header cut mid-name
+      "F(",                               // header cut mid-params
+      "F(int",                            // param type, no name
+      "F(int a,)",                        // dangling comma
+      "F(int a) {",                       // unterminated body
+      "F(int a) { x = ",                  // truncated expression
+      "F(int a) { x = a + ; }",           // operator without operand
+      "F(int a) { if (a) }",              // if without branch
+      "F(int a) { while () x = 1; }",     // empty condition
+      "F(int a) { for (x = 0; x < 9) x++; }",  // for missing step
+      "F(int a) { a[1] = 2; }",           // store to undeclared array
+      "F(int a) { int b[2]; b[ = 1; }",   // broken index
+      "F(int a) { output ; }",            // output without name
+      "F(int a) { x = (a; }",             // unbalanced paren
+      "F(int a) { x = a ? 1 ; }",         // ternary missing ':'
+      "F(int a) { /* never closed",       // unterminated block comment
+      "F(int a) { x = 1 @ 2; }",          // stray character
+      "F(int a) { x = 99999999999999999999999999; }",  // literal overflow
+  };
+  for (const char* text : corpus)
+    EXPECT_THROW(parse_function(text), Error) << "input: " << text;
+}
+
+TEST(Lexer, IntegerLiteralOverflowIsDiagnosed) {
+  // INT64_MAX parses; one past it is an error, not signed-overflow UB.
+  const auto ok = tokenize("9223372036854775807");
+  EXPECT_EQ(ok[0].value, INT64_MAX);
+  EXPECT_THROW(tokenize("9223372036854775808"), ParseError);
+  EXPECT_THROW(tokenize("184467440737095516150"), ParseError);
+}
+
+TEST(Parser, PathologicalNestingIsDiagnosedNotStackOverflow) {
+  // Expression nesting: "((((…1))))".
+  const std::string parens = "F(int a) { x = " + std::string(5000, '(') +
+                             "1" + std::string(5000, ')') + "; }";
+  EXPECT_THROW(parse_function(parens), ParseError);
+  // Unary chains recurse without passing through parse_expr.
+  const std::string bangs =
+      "F(int a) { x = " + std::string(5000, '!') + "a; }";
+  EXPECT_THROW(parse_function(bangs), ParseError);
+  // Statement nesting: deeply nested ifs.
+  std::string ifs = "F(int a) { ";
+  for (int i = 0; i < 5000; ++i) ifs += "if (a) { ";
+  ifs += "x = 1; ";
+  for (int i = 0; i < 5000; ++i) ifs += "} ";
+  ifs += "}";
+  EXPECT_THROW(parse_function(ifs), ParseError);
+  // Modest nesting stays well inside the budget.
+  std::string ok = "F(int a) { x = " + std::string(50, '(') + "a" +
+                   std::string(50, ')') + "; }";
+  EXPECT_NO_THROW(parse_function(ok));
+}
+
+TEST(Parser, EveryPrefixOfAValidProgramFailsCleanly) {
+  // Truncation sweep: every byte-prefix of a program using the whole
+  // grammar either parses (full length) or throws fact::Error.
+  const std::string program =
+      "GCD(int a, int b) {\n"
+      "  int g[4];\n"
+      "  while (a != b) { if (a > b) a = a - b; else b = b - a; }\n"
+      "  for (i = 0; i < 4; i++) g[i] = a * 2 + ~i;\n"
+      "  int r = a > 0 ? g[0] : -a;\n"
+      "  output r;\n"
+      "}\n";
+  for (size_t len = 0; len < program.size(); ++len) {
+    const std::string prefix = program.substr(0, len);
+    try {
+      parse_function(prefix);
+    } catch (const Error&) {
+      // Expected: a clean diagnostic.
+    }
+    // Anything else (other exception types, crashes) fails the test run.
+  }
+  EXPECT_NO_THROW(parse_function(program));
+}
+
 }  // namespace
 }  // namespace fact::lang

@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
+#include <optional>
+#include <thread>
+
 #include "lang/parser.hpp"
 #include "opt/baselines.hpp"
 #include "opt/fact.hpp"
 #include "opt/partition.hpp"
+#include "util/parallel.hpp"
 #include "workloads/workloads.hpp"
 
 namespace fact::opt {
@@ -316,6 +320,80 @@ TEST(EvalCache, SharedCacheServesRepeatFlows) {
   EXPECT_EQ(warm.quarantined, cold.quarantined);
 }
 
+TEST(EvalCache, LruEvictionHonorsCapAndRecency) {
+  EvalCache cache(3);
+  EXPECT_EQ(cache.capacity(), 3u);
+  auto entry = [](double score) {
+    EvalCache::Entry e;
+    e.ok = true;
+    e.eval.score = score;
+    return e;
+  };
+  auto hit = [&](uint64_t h) {
+    return cache.lookup(h, Objective::Throughput, 1.0).has_value();
+  };
+  cache.insert(1, Objective::Throughput, 1.0, entry(1.0));
+  cache.insert(2, Objective::Throughput, 1.0, entry(2.0));
+  cache.insert(3, Objective::Throughput, 1.0, entry(3.0));
+  EXPECT_EQ(cache.size(), 3u);
+
+  // touch() saves key 1 from eviction; key 2 is now least recent, so the
+  // fourth insert evicts it. lookup() itself never advances recency (the
+  // frozen-wave contract), so the probes below don't perturb the order.
+  cache.touch(1, Objective::Throughput, 1.0);
+  cache.insert(4, Objective::Throughput, 1.0, entry(4.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(hit(2));
+  EXPECT_TRUE(hit(1) && hit(3) && hit(4));
+
+  // Re-inserting an existing key keeps the original entry but refreshes
+  // recency: 3 jumps ahead of 1, so the next insert evicts 1.
+  cache.insert(3, Objective::Throughput, 1.0, entry(99.0));
+  cache.insert(5, Objective::Throughput, 1.0, entry(5.0));
+  EXPECT_EQ(cache.size(), 3u);
+  EXPECT_FALSE(hit(1));
+  ASSERT_TRUE(hit(3));
+  EXPECT_DOUBLE_EQ(cache.lookup(3, Objective::Throughput, 1.0)->eval.score,
+                   3.0);
+  EXPECT_TRUE(hit(4) && hit(5));
+
+  // touch() of an absent key is a no-op.
+  cache.touch(777, Objective::Throughput, 1.0);
+  EXPECT_EQ(cache.size(), 3u);
+}
+
+TEST(EvalCache, CapOneStillServesTheCurrentKey) {
+  EvalCache cache(1);
+  EvalCache::Entry e;
+  e.ok = true;
+  e.eval.score = 1.0;
+  for (uint64_t h = 1; h <= 5; ++h)
+    cache.insert(h, Objective::Power, 2.0, e);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_TRUE(cache.lookup(5, Objective::Power, 2.0).has_value());
+  EXPECT_FALSE(cache.lookup(4, Objective::Power, 2.0).has_value());
+}
+
+TEST(EvalCache, EngineRespectsCacheCapOption) {
+  const workloads::Workload w = workloads::by_name("GCD");
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const auto xforms = xform::TransformLibrary::standard();
+  FactOptions unbounded;
+  FactOptions tiny;
+  tiny.engine.cache_cap = 8;
+  const FactResult a =
+      run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, unbounded);
+  const FactResult b =
+      run_fact(w.fn, lib, w.allocation, sel, w.trace, xforms, tiny);
+  // A bounded cache can only change how much is recomputed, never the
+  // search outcome.
+  EXPECT_EQ(a.optimized.str(), b.optimized.str());
+  EXPECT_EQ(a.applied, b.applied);
+  EXPECT_EQ(a.evaluations, b.evaluations);
+  EXPECT_LE(b.cache_hits, a.cache_hits);
+}
+
 TEST(EvalCache, MemoizeOffIsPureAblation) {
   const workloads::Workload w = workloads::by_name("GCD");
   const auto lib = hlslib::Library::dac98();
@@ -333,6 +411,53 @@ TEST(EvalCache, MemoizeOffIsPureAblation) {
   EXPECT_EQ(a.optimized.str(), b.optimized.str());
   EXPECT_EQ(a.applied, b.applied);
   EXPECT_EQ(a.evaluations, b.evaluations);
+}
+
+TEST(Engine, EnginesSharingOneWorkerPoolMatchPrivatePools) {
+  // The factd service points every engine at one process-wide pool via
+  // EngineOptions::pool. Two concurrent optimizations sharing that pool
+  // must produce exactly what each would with its own private pool.
+  const auto lib = hlslib::Library::dac98();
+  const auto sel = hlslib::FuSelection::defaults(lib);
+  const auto xforms = xform::TransformLibrary::standard();
+  const workloads::Workload wa = workloads::by_name("GCD");
+  const workloads::Workload wb = workloads::by_name("TEST2");
+
+  FactOptions priv;
+  priv.engine.jobs = 2;
+  const FactResult ra =
+      run_fact(wa.fn, lib, wa.allocation, sel, wa.trace, xforms, priv);
+  const FactResult rb =
+      run_fact(wb.fn, lib, wb.allocation, sel, wb.trace, xforms, priv);
+
+  WorkerPool pool(2);
+  FactOptions shared;
+  shared.engine.pool = &pool;
+  std::optional<FactResult> sa, sb;
+  std::thread ta([&] {
+    sa = run_fact(wa.fn, lib, wa.allocation, sel, wa.trace, xforms, shared);
+  });
+  std::thread tb([&] {
+    sb = run_fact(wb.fn, lib, wb.allocation, sel, wb.trace, xforms, shared);
+  });
+  ta.join();
+  tb.join();
+
+  ASSERT_TRUE(sa.has_value());
+  ASSERT_TRUE(sb.has_value());
+  EXPECT_EQ(sa->optimized.str(), ra.optimized.str());
+  EXPECT_EQ(sa->applied, ra.applied);
+  EXPECT_EQ(sa->evaluations, ra.evaluations);
+  EXPECT_DOUBLE_EQ(sa->final_avg_len, ra.final_avg_len);
+  EXPECT_EQ(sb->optimized.str(), rb.optimized.str());
+  EXPECT_EQ(sb->applied, rb.applied);
+  EXPECT_EQ(sb->evaluations, rb.evaluations);
+  EXPECT_DOUBLE_EQ(sb->final_avg_len, rb.final_avg_len);
+
+  // The borrowed pool is untouched by engine teardown and stays usable.
+  std::atomic<int> n{0};
+  pool.parallel_for(16, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 16);
 }
 
 // ---- baselines ---------------------------------------------------------

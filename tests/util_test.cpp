@@ -181,5 +181,63 @@ TEST(WorkerPool, HardwareThreadsIsPositive) {
   EXPECT_GE(WorkerPool::hardware_threads(), 1);
 }
 
+TEST(WorkerPool, ConcurrentCallersShareOnePool) {
+  // factd's dispatcher and the engines inside its jobs all call
+  // parallel_for on one pool, possibly at the same time. Whichever call
+  // loses the race for the workers runs inline — every index of every
+  // call must still run exactly once.
+  WorkerPool pool(4);
+  constexpr int kCallers = 6;
+  constexpr size_t kItems = 200;
+  std::vector<std::vector<std::atomic<int>>> counts(kCallers);
+  for (auto& c : counts) {
+    std::vector<std::atomic<int>> fresh(kItems);
+    c.swap(fresh);
+  }
+  std::vector<std::thread> callers;
+  for (int t = 0; t < kCallers; ++t)
+    callers.emplace_back([&, t] {
+      for (int round = 0; round < 10; ++round)
+        pool.parallel_for(kItems,
+                          [&, t](size_t i) { counts[t][i].fetch_add(1); });
+    });
+  for (auto& th : callers) th.join();
+  for (int t = 0; t < kCallers; ++t)
+    for (size_t i = 0; i < kItems; ++i)
+      EXPECT_EQ(counts[t][i].load(), 10) << t << "/" << i;
+}
+
+TEST(WorkerPool, NestedCallsRunInline) {
+  // A body that itself calls parallel_for on the same pool (an engine
+  // wave inside a dispatcher batch) must degrade to inline execution
+  // instead of deadlocking on the busy workers.
+  WorkerPool pool(3);
+  constexpr size_t kOuter = 8, kInner = 16;
+  std::vector<std::atomic<int>> counts(kOuter * kInner);
+  pool.parallel_for(kOuter, [&](size_t outer) {
+    pool.parallel_for(kInner, [&](size_t inner) {
+      counts[outer * kInner + inner].fetch_add(1);
+    });
+  });
+  for (size_t i = 0; i < counts.size(); ++i)
+    EXPECT_EQ(counts[i].load(), 1) << i;
+}
+
+TEST(WorkerPool, NestedExceptionStillPropagates) {
+  WorkerPool pool(2);
+  EXPECT_THROW(pool.parallel_for(4,
+                                 [&](size_t i) {
+                                   pool.parallel_for(4, [&](size_t j) {
+                                     if (i == 2 && j == 3)
+                                       throw Error("nested failure");
+                                   });
+                                 }),
+               Error);
+  // Usable afterwards, both nested and flat.
+  std::atomic<int> n{0};
+  pool.parallel_for(5, [&](size_t) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 5);
+}
+
 }  // namespace
 }  // namespace fact

@@ -10,9 +10,12 @@
 #                       tests exercise multi-threaded candidate evaluation
 #                       via EngineOptions::jobs > 1, and the WorkerPool
 #                       tests hammer the pool handoff directly), then
-#                       re-runs the parallel engine + pool tests with
-#                       TSAN_OPTIONS=halt_on_error=1 so any data race in
-#                       the evaluation waves fails loudly.
+#                       re-runs the parallel engine + pool + service tests
+#                       with TSAN_OPTIONS=halt_on_error=1 so any data race
+#                       in the evaluation waves or the factd service fails
+#                       loudly, and finally drives a sanitized factd over a
+#                       unix socket with concurrent factcli clients and
+#                       requires a clean daemon exit.
 #
 # Each sanitized tree lives in its own build directory (default
 # build-asan / build-tsan) so the regular build stays untouched.
@@ -41,11 +44,42 @@ cmake --build "$build_dir" -j "$(nproc)"
 ctest --test-dir "$build_dir" -j "$(nproc)" --output-on-failure
 
 if [ "$cmake_flag" = thread ]; then
-  # Focused multi-threaded pass: the tests that run the engine and the
-  # worker pool with jobs > 1, with races promoted to hard failures.
+  # Focused multi-threaded pass: the tests that run the engine, the worker
+  # pool, and the factd service/server with real thread contention, with
+  # races promoted to hard failures.
   TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
     ctest --test-dir "$build_dir" --output-on-failure \
-      -R 'WorkerPool|JobsInvariant|JobsDeterminism|EvalCache'
+      -R 'WorkerPool|JobsInvariant|JobsDeterminism|EvalCache|Engine\.EnginesSharing|Service\.|Server\.|FactdE2E'
+
+  # Server integration under TSan: a sanitized factd on a unix socket,
+  # hammered by concurrent factcli clients, must exit cleanly (TSan makes
+  # any reported race a non-zero daemon exit).
+  sock="$build_dir/factd-tsan.sock"
+  rm -f "$sock"
+  export TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}"
+  "$build_dir/tools/factd" --unix "$sock" --workers 4 --batch-max 4 --quiet &
+  factd_pid=$!
+  for _ in $(seq 1 100); do
+    [ -S "$sock" ] && break
+    sleep 0.1
+  done
+  [ -S "$sock" ] || { echo "check.sh: factd did not come up" >&2; exit 1; }
+  client_pids=""
+  for w in GCD IGF PPS; do
+    "$build_dir/tools/factcli" --unix "$sock" --benchmark "$w" --quiet \
+      --session "tsan-$w" >/dev/null &
+    client_pids="$client_pids $!"
+  done
+  for p in $client_pids; do wait "$p"; done
+  # Warm re-optimize through the sessions plus a status probe.
+  for w in GCD IGF PPS; do
+    "$build_dir/tools/factcli" --unix "$sock" --type optimize \
+      --session "tsan-$w" --quiet >/dev/null
+  done
+  "$build_dir/tools/factcli" --unix "$sock" --status >/dev/null
+  "$build_dir/tools/factcli" --unix "$sock" --shutdown >/dev/null
+  wait "$factd_pid"
+  rm -f "$sock"
 fi
 
 echo "check.sh: sanitized suite ($cmake_flag) passed"

@@ -136,37 +136,6 @@ Args parse_args(int argc, char** argv) {
   return a;
 }
 
-hlslib::Allocation parse_alloc(const std::string& spec,
-                               const hlslib::Library& lib) {
-  hlslib::Allocation alloc;
-  if (spec.empty()) {
-    for (const auto& t : lib.types()) alloc.counts[t.name] = 2;
-    return alloc;
-  }
-  std::stringstream ss(spec);
-  std::string item;
-  while (std::getline(ss, item, ',')) {
-    const size_t eq = item.find('=');
-    if (eq == std::string::npos) usage("bad --alloc entry (want fu=count)");
-    const std::string name = item.substr(0, eq);
-    if (!lib.find(name)) usage(("unknown FU type " + name).c_str());
-    const std::string count_text = item.substr(eq + 1);
-    int count = 0;
-    try {
-      size_t pos = 0;
-      count = std::stoi(count_text, &pos);
-      if (pos != count_text.size()) throw Error("");
-    } catch (const std::exception&) {
-      throw Error("bad --alloc count '" + count_text + "' for " + name);
-    }
-    if (count <= 0)
-      throw Error("--alloc count for " + name + " must be positive (got " +
-                  count_text + ")");
-    alloc.counts[name] = count;
-  }
-  return alloc;
-}
-
 void write_file(const std::string& path, const std::string& text) {
   std::ofstream out(path);
   if (!out) throw Error("cannot write " + path);
@@ -189,8 +158,9 @@ int main(int argc, char** argv) {
     if (!args.benchmark.empty()) {
       workloads::Workload w = workloads::by_name(args.benchmark);
       fn = std::move(w.fn);
-      alloc = args.alloc_spec.empty() ? w.allocation
-                                      : parse_alloc(args.alloc_spec, lib);
+      alloc = args.alloc_spec.empty()
+                  ? w.allocation
+                  : hlslib::parse_allocation(args.alloc_spec, lib);
       traces = w.trace;
     } else {
       std::ifstream in(args.source_path);
@@ -198,7 +168,7 @@ int main(int argc, char** argv) {
       std::stringstream buf;
       buf << in.rdbuf();
       fn = lang::parse_function(buf.str());
-      alloc = parse_alloc(args.alloc_spec, lib);
+      alloc = hlslib::parse_allocation(args.alloc_spec, lib);
     }
 
     sched::SchedOptions so;
@@ -241,31 +211,10 @@ int main(int argc, char** argv) {
       const auto xf = xform::TransformLibrary::standard();
       const opt::FactResult r =
           opt::run_fact(fn, lib, alloc, sel, traces, xf, fo);
-      line("FACT", r.final_avg_len, r.final_power.power, r.applied.size());
-      if (r.truncated)
-        printf("note: search budget exhausted; result is best-so-far\n");
-      if (!args.quiet && r.evaluations > 0)
-        printf("evaluations: %d (%d served from the memo cache)\n",
-               r.evaluations, r.cache_hits);
-      if (!args.quiet && r.quarantined > 0) {
-        printf("quarantined %d candidate(s):", r.quarantined);
-        for (const auto& [cls, n] : r.quarantine_by_class)
-          printf(" %s=%d", cls.c_str(), n);
-        printf("\n");
-        if (r.blocks_degraded > 0)
-          printf("%d block(s) degraded to the baseline design\n",
-                 r.blocks_degraded);
-      }
-      if (!args.quiet) {
-        printf("\nbaseline (untransformed): %.2f cycles, %.3f power\n",
-               r.initial_avg_len, r.initial_power.power);
-        if (fo.objective == opt::Objective::Power)
-          printf("scaled Vdd: %.2f V (iso-throughput with the baseline)\n",
-                 r.final_power.vdd);
-        printf("\ntransforms applied:\n");
-        for (const auto& t : r.applied) printf("  %s\n", t.c_str());
-        printf("\ntransformed behavior:\n%s", r.optimized.str().c_str());
-      }
+      // Rendered by the same function factd uses for optimize responses,
+      // which is what makes server output byte-identical to batch output.
+      fputs(opt::render_fact_report(r, fo.objective, args.quiet).c_str(),
+            stdout);
       if (args.binding) {
         const bind::Binding b =
             bind::bind_datapath(r.schedule.stg, lib, alloc);

@@ -1,0 +1,128 @@
+// factd — the FACT optimization service.
+//
+//   factd --unix /tmp/factd.sock [--tcp-port 7333] [options]
+//
+// Line-delimited JSON over unix-domain and/or TCP sockets: one request
+// object per line, one response object per line, responses in request
+// order per connection. Request types: optimize, schedule, profile,
+// status, cancel, shutdown (see README "Running factd").
+//
+// Options:
+//   --unix <path>       listen on a unix-domain socket
+//   --tcp-port <n>      listen on TCP (0 = ephemeral; the chosen port is
+//                       printed on startup)
+//   --tcp-host <addr>   TCP bind address (default 127.0.0.1)
+//   --workers <n>       shared worker-pool threads (default: hardware)
+//   --queue-cap <n>     bounded job queue length (default 256)
+//   --batch-max <n>     jobs dispatched per wave (default: pool threads)
+//   --cache-cap <n>     shared EvalCache capacity (default 262144)
+//   --quiet             no startup/shutdown banner
+
+#include <cstdio>
+#include <string>
+
+#include "serve/server.hpp"
+#include "serve/service.hpp"
+#include "util/error.hpp"
+
+namespace {
+
+using namespace fact;
+
+struct Args {
+  serve::ServiceOptions service;
+  serve::ServerOptions server;
+  bool quiet = false;
+};
+
+[[noreturn]] void usage(const char* msg = nullptr) {
+  if (msg) fprintf(stderr, "factd: %s\n", msg);
+  fprintf(stderr,
+          "usage: factd [--unix <path>] [--tcp-port <n>] [--tcp-host <addr>]\n"
+          "  [--workers <n>] [--queue-cap <n>] [--batch-max <n>]\n"
+          "  [--cache-cap <n>] [--quiet]\n");
+  exit(2);
+}
+
+long parse_long(const std::string& text, const std::string& opt) {
+  try {
+    size_t pos = 0;
+    const long v = std::stol(text, &pos);
+    if (pos != text.size()) throw Error("");
+    return v;
+  } catch (const std::exception&) {
+    throw Error("bad numeric value '" + text + "' for " + opt);
+  }
+}
+
+Args parse_args(int argc, char** argv) {
+  Args a;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string inline_value;
+    bool has_inline = false;
+    if (arg.size() > 2 && arg[0] == '-' && arg[1] == '-') {
+      const size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        inline_value = arg.substr(eq + 1);
+        has_inline = true;
+        arg = arg.substr(0, eq);
+      }
+    }
+    auto next = [&]() -> std::string {
+      if (has_inline) return inline_value;
+      if (i + 1 >= argc) usage(("missing value for " + arg).c_str());
+      return argv[++i];
+    };
+    if (arg == "--unix") a.server.unix_path = next();
+    else if (arg == "--tcp-port") a.server.tcp_port = static_cast<int>(parse_long(next(), arg));
+    else if (arg == "--tcp-host") a.server.tcp_host = next();
+    else if (arg == "--workers") a.service.workers = static_cast<int>(parse_long(next(), arg));
+    else if (arg == "--queue-cap") a.service.queue_cap = static_cast<size_t>(parse_long(next(), arg));
+    else if (arg == "--batch-max") a.service.batch_max = static_cast<size_t>(parse_long(next(), arg));
+    else if (arg == "--cache-cap") a.service.cache_cap = static_cast<size_t>(parse_long(next(), arg));
+    else if (arg == "--quiet") a.quiet = true;
+    else if (arg == "--help" || arg == "-h") usage();
+    else usage(("unknown option " + arg).c_str());
+  }
+  if (a.server.unix_path.empty() && a.server.tcp_port < 0)
+    usage("provide --unix <path> and/or --tcp-port <n>");
+  return a;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    const Args args = parse_args(argc, argv);
+    serve::Service service(args.service);
+    serve::Server server(service, args.server);
+    if (!args.quiet) {
+      if (!server.unix_path().empty())
+        printf("factd: listening on unix:%s\n", server.unix_path().c_str());
+      if (server.tcp_port() >= 0)
+        printf("factd: listening on tcp://%s:%d\n",
+               args.server.tcp_host.c_str(), server.tcp_port());
+      // Scripts wait for the banner before connecting.
+      fflush(stdout);
+    }
+    server.run();
+    if (!args.quiet) {
+      const serve::StatsSnapshot s = service.stats();
+      printf("factd: shutdown after %llu completed, %llu failed, "
+             "%llu cancelled, %llu rejected; cache %zu/%zu entries\n",
+             static_cast<unsigned long long>(s.completed),
+             static_cast<unsigned long long>(s.failed),
+             static_cast<unsigned long long>(s.cancelled),
+             static_cast<unsigned long long>(s.rejected), s.cache_entries,
+             s.cache_cap);
+    }
+    return 0;
+  } catch (const fact::Error& e) {
+    fprintf(stderr, "factd: error: %s\n", e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    fprintf(stderr, "factd: internal error: %s\n", e.what());
+    return 1;
+  }
+}
