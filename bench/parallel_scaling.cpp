@@ -30,6 +30,9 @@ struct FlowRun {
   double wall_ms = 0.0;
 };
 
+// Trace-execution override for smoke runs (0 = FactOptions default).
+size_t g_traces = 0;
+
 FlowRun timed_fact(const bench::Env& env, const workloads::Workload& w,
                    int jobs, bool memoize, opt::EvalCache* cache) {
   opt::FactOptions fo;
@@ -38,6 +41,7 @@ FlowRun timed_fact(const bench::Env& env, const workloads::Workload& w,
   fo.seed = env.seed;
   fo.engine.jobs = jobs;
   fo.engine.memoize = memoize;
+  if (g_traces > 0) fo.trace_executions = g_traces;
   const auto xf = xform::TransformLibrary::standard();
   const auto t0 = std::chrono::steady_clock::now();
   FlowRun run;
@@ -61,17 +65,29 @@ int main(int argc, char** argv) {
   std::string out_path = "BENCH_fact.json";
   for (int i = 1; i < argc; ++i) {
     if (!strcmp(argv[i], "--jobs") && i + 1 < argc) jobs = atoi(argv[++i]);
+    else if (!strcmp(argv[i], "--traces") && i + 1 < argc)
+      g_traces = static_cast<size_t>(atoi(argv[++i]));
     else if (!strcmp(argv[i], "--out") && i + 1 < argc) out_path = argv[++i];
     else {
-      fprintf(stderr, "usage: parallel_scaling [--jobs N] [--out FILE]\n");
+      fprintf(stderr,
+              "usage: parallel_scaling [--jobs N] [--traces N] [--out FILE]\n");
       return 2;
     }
   }
 
   bench::Env env;
+  const int hw_threads = WorkerPool::hardware_threads();
+  // On a single-core host the parallel leg still runs (the determinism
+  // check is as meaningful as ever) but its wall-clock "speedup" is just
+  // scheduling noise; flag it so the tracked JSON never reads as a real
+  // scaling data point.
+  const bool parallel_meaningful = hw_threads > 1;
   printf("FACT parallel evaluation scaling: jobs=1 vs jobs=%d "
          "(%d hardware thread(s))\n",
-         jobs, WorkerPool::hardware_threads());
+         jobs, hw_threads);
+  if (!parallel_meaningful)
+    printf("WARNING: only one hardware thread; parallel speedup numbers are "
+           "not meaningful on this host\n");
   bench::rule('=');
   printf("%-9s %8s %8s %8s %8s %8s %6s %6s %5s\n", "workload", "ms(j=1)",
          "ms(j=N)", "speedup", "no-memo", "warm", "hit%", "warm%", "same");
@@ -80,7 +96,8 @@ int main(int argc, char** argv) {
   bench::Json json;
   json.begin_object();
   json.key("jobs").value(jobs);
-  json.key("hardware_threads").value(WorkerPool::hardware_threads());
+  json.key("hardware_threads").value(hw_threads);
+  json.key("parallel_meaningful").value(parallel_meaningful);
   json.key("workloads").begin_array();
 
   bool all_identical = true;
@@ -141,6 +158,16 @@ int main(int argc, char** argv) {
     json.key("cache_hit_rate").value(hit_rate);
     json.key("warm_cache_hits").value(warm.result.cache_hits);
     json.key("warm_cache_hit_rate").value(warm_hit_rate);
+    // Fragment-cache traffic from the serial leg only. Deliberately kept
+    // out of the `identical` assertion: fragment hit/miss attribution is
+    // not jobs-invariant (see EngineResult), only the results are.
+    json.key("fragment_hits").value(r.fragment_hits);
+    json.key("fragment_misses").value(r.fragment_misses);
+    json.key("fragment_hit_rate")
+        .value(r.fragment_hits + r.fragment_misses > 0
+                   ? double(r.fragment_hits) /
+                         (r.fragment_hits + r.fragment_misses)
+                   : 0.0);
     json.key("wall_ms_serial").value(serial.wall_ms);
     json.key("wall_ms_parallel").value(parallel.wall_ms);
     json.key("wall_ms_nomemo").value(nomemo.wall_ms);

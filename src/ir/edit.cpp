@@ -6,42 +6,13 @@
 
 namespace fact::ir {
 
-namespace {
-
-bool replace_in_list(std::vector<StmtPtr>& list, int stmt_id,
-                     std::vector<StmtPtr>& replacement, bool insert_only) {
-  for (size_t i = 0; i < list.size(); ++i) {
-    if (list[i]->id == stmt_id) {
-      std::vector<StmtPtr> out;
-      out.reserve(list.size() + replacement.size());
-      for (size_t j = 0; j < i; ++j) out.push_back(std::move(list[j]));
-      for (auto& r : replacement) out.push_back(std::move(r));
-      if (insert_only) out.push_back(std::move(list[i]));
-      for (size_t j = i + 1; j < list.size(); ++j)
-        out.push_back(std::move(list[j]));
-      list = std::move(out);
-      return true;
-    }
-    for (auto* child : list[i]->child_lists())
-      if (replace_in_list(*child, stmt_id, replacement, insert_only))
-        return true;
-  }
-  return false;
-}
-
-}  // namespace
-
 bool replace_stmt(Function& fn, int stmt_id,
                   std::vector<StmtPtr> replacement) {
-  if (!fn.body()) return false;
-  return replace_in_list(fn.body()->stmts, stmt_id, replacement,
-                         /*insert_only=*/false);
+  return fn.splice(stmt_id, std::move(replacement), /*insert_only=*/false);
 }
 
 bool insert_before(Function& fn, int stmt_id, std::vector<StmtPtr> stmts) {
-  if (!fn.body()) return false;
-  return replace_in_list(fn.body()->stmts, stmt_id, stmts,
-                         /*insert_only=*/true);
+  return fn.splice(stmt_id, std::move(stmts), /*insert_only=*/true);
 }
 
 ExprPtr substitute(const ExprPtr& e,
@@ -107,6 +78,8 @@ bool all_scalar_assigns(const std::vector<StmtPtr>& stmts) {
 
 void clear_ids(std::vector<StmtPtr>& stmts) {
   for (auto& s : stmts) {
+    detach(s);  // callers usually pass fresh clones; detach makes it safe
+                // on shared statements too
     s->id = -1;
     for (auto* child : s->child_lists()) clear_ids(*child);
   }

@@ -39,9 +39,13 @@ class Function {
   const std::vector<std::string>& outputs() const { return outputs_; }
   void add_output(const std::string& o) { outputs_.push_back(o); }
 
-  /// The body is always a Block statement.
+  /// The body is always a Block statement. The mutable overload is a
+  /// copy-on-write barrier: it makes the whole tree uniquely owned first
+  /// (callers may mutate anything through the returned pointer), so prefer
+  /// find_stmt/splice — which copy only the path to the mutation — on
+  /// performance-sensitive paths.
   const Stmt* body() const { return body_.get(); }
-  Stmt* body() { return body_.get(); }
+  Stmt* body();
   void set_body(StmtPtr b);
 
   /// Assigns fresh preorder statement ids (0, 1, 2, ...). Called after any
@@ -61,18 +65,39 @@ class Function {
   /// transform-created statements).
   std::set<int> stmt_ids() const;
 
-  /// Finds the statement with the given id, or nullptr.
+  /// Finds the statement with the given id, or nullptr. The mutable
+  /// overload is copy-on-write: it copies the spine from the root to the
+  /// statement and makes the statement's subtree uniquely owned, so the
+  /// caller may freely mutate through the returned pointer without
+  /// affecting functions that share the rest of the tree.
   const Stmt* find_stmt(int id) const;
   Stmt* find_stmt(int id);
 
-  /// Deep copy. Statement ids are preserved, so transformation candidates
+  /// O(1) copy sharing the whole body with this function (copy-on-write:
+  /// any mutation through the clone's accessors detaches just the touched
+  /// path). Statement ids are preserved, so transformation candidates
   /// expressed as (stmt id, expr path) remain valid on the clone.
   Function clone() const;
+
+  /// Path-copying clone: a clone() whose statement `stmt_id` is replaced
+  /// by `replacement` (null = delete). Only the root-to-statement spine is
+  /// copied; every other subtree is shared with this function. Throws
+  /// fact::Error if the id does not exist.
+  Function clone_with(int stmt_id, StmtPtr replacement) const;
+
+  /// Replaces the statement with id `stmt_id` by `replacement` (spliced
+  /// into the enclosing list; empty deletes), or, with `insert_only`,
+  /// inserts `replacement` immediately before it. Copies only the spine
+  /// from the root to the enclosing list (copy-on-write). Returns false if
+  /// the id is not found. ir::replace_stmt / ir::insert_before wrap this.
+  bool splice(int stmt_id, std::vector<StmtPtr> replacement,
+              bool insert_only);
 
   /// Source-like rendering of the whole function.
   std::string str() const;
 
-  /// Preorder walk over every statement in the body.
+  /// Preorder walk over every statement in the body. The mutable overload
+  /// makes the whole tree uniquely owned first (copy-on-write barrier).
   void for_each(const std::function<void(const Stmt&)>& fn) const;
   void for_each(const std::function<void(Stmt&)>& fn);
 

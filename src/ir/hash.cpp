@@ -41,6 +41,19 @@ uint64_t structural_hash(const Stmt& s) {
   return h;
 }
 
+uint64_t fragment_hash(const Stmt& s) {
+  uint64_t h = mix(0xF4A6u, static_cast<uint64_t>(s.kind));
+  h = mix(h, static_cast<uint64_t>(static_cast<int64_t>(s.id)));
+  h = mix(h, s.target);
+  for (const auto* slot : s.expr_slots())
+    h = mix(h, static_cast<uint64_t>((*slot)->hash()));
+  for (const auto* list : s.child_lists()) {
+    h = mix(h, 0xC0FFEEu + list->size());
+    for (const auto& c : *list) h = mix(h, fragment_hash(*c));
+  }
+  return h;
+}
+
 uint64_t structural_hash(const Function& fn) {
   uint64_t h = mix(0xFAC7u, fn.name());
   h = mix(h, 0x1000u + fn.params().size());

@@ -24,4 +24,13 @@ uint64_t structural_hash(const Stmt& s);
 /// optimizer's dedup and keys the evaluation memo cache.
 uint64_t structural_hash(const Function& fn);
 
+/// Fragment hash: structural_hash plus every statement id in the subtree.
+/// Keys the scheduler's fragment cache, where two regions may only share a
+/// cached schedule if their DFG annotations — which record originating
+/// statement ids — are identical too. Ids are stable across clones, so a
+/// region untouched by a transform keys the same fragment in parent and
+/// child; transform-created statements get fresh ids and therefore fresh
+/// keys.
+uint64_t fragment_hash(const Stmt& s);
+
 }  // namespace fact::ir

@@ -1,11 +1,12 @@
 #include "ir/stmt.hpp"
 
+#include <atomic>
 #include <sstream>
 
 namespace fact::ir {
 
 StmtPtr Stmt::assign(std::string var, ExprPtr value) {
-  auto s = std::make_unique<Stmt>();
+  auto s = std::make_shared<Stmt>();
   s->kind = StmtKind::Assign;
   s->target = std::move(var);
   s->value = std::move(value);
@@ -13,7 +14,7 @@ StmtPtr Stmt::assign(std::string var, ExprPtr value) {
 }
 
 StmtPtr Stmt::store(std::string array, ExprPtr index, ExprPtr value) {
-  auto s = std::make_unique<Stmt>();
+  auto s = std::make_shared<Stmt>();
   s->kind = StmtKind::Store;
   s->target = std::move(array);
   s->index = std::move(index);
@@ -23,7 +24,7 @@ StmtPtr Stmt::store(std::string array, ExprPtr index, ExprPtr value) {
 
 StmtPtr Stmt::if_stmt(ExprPtr cond, std::vector<StmtPtr> then_stmts,
                       std::vector<StmtPtr> else_stmts) {
-  auto s = std::make_unique<Stmt>();
+  auto s = std::make_shared<Stmt>();
   s->kind = StmtKind::If;
   s->cond = std::move(cond);
   s->then_stmts = std::move(then_stmts);
@@ -32,7 +33,7 @@ StmtPtr Stmt::if_stmt(ExprPtr cond, std::vector<StmtPtr> then_stmts,
 }
 
 StmtPtr Stmt::while_stmt(ExprPtr cond, std::vector<StmtPtr> body) {
-  auto s = std::make_unique<Stmt>();
+  auto s = std::make_shared<Stmt>();
   s->kind = StmtKind::While;
   s->cond = std::move(cond);
   s->then_stmts = std::move(body);
@@ -40,14 +41,14 @@ StmtPtr Stmt::while_stmt(ExprPtr cond, std::vector<StmtPtr> body) {
 }
 
 StmtPtr Stmt::block(std::vector<StmtPtr> stmts) {
-  auto s = std::make_unique<Stmt>();
+  auto s = std::make_shared<Stmt>();
   s->kind = StmtKind::Block;
   s->stmts = std::move(stmts);
   return s;
 }
 
 StmtPtr Stmt::clone() const {
-  auto s = std::make_unique<Stmt>();
+  auto s = std::make_shared<Stmt>();
   s->kind = kind;
   s->id = id;
   s->target = target;
@@ -158,6 +159,45 @@ void for_each_stmt(StmtPtr& s, const std::function<void(Stmt&)>& fn) {
   fn(*s);
   for (auto* list : s->child_lists())
     for (auto& c : *list) for_each_stmt(c, fn);
+}
+
+namespace cow {
+namespace {
+std::atomic<uint64_t> g_clones{0};
+std::atomic<uint64_t> g_node_copies{0};
+}  // namespace
+
+uint64_t clones() { return g_clones.load(std::memory_order_relaxed); }
+uint64_t node_copies() {
+  return g_node_copies.load(std::memory_order_relaxed);
+}
+void reset() {
+  g_clones.store(0, std::memory_order_relaxed);
+  g_node_copies.store(0, std::memory_order_relaxed);
+}
+void count_clone() { g_clones.fetch_add(1, std::memory_order_relaxed); }
+void count_node_copy() {
+  g_node_copies.fetch_add(1, std::memory_order_relaxed);
+}
+}  // namespace cow
+
+void detach(StmtPtr& s) {
+  // use_count() == 1 means this StmtPtr is the only owner (no other thread
+  // can be adding references — that would require another owner to copy
+  // from), so mutating through it is private.
+  if (!s || s.use_count() == 1) return;
+  cow::count_node_copy();
+  // The default copy shares the ExprPtrs (expressions are immutable) and
+  // copies the child-pointer vectors, leaving the child subtrees shared.
+  s = std::make_shared<Stmt>(*s);
+}
+
+void detach_deep(StmtPtr& s) {
+  if (!s) return;
+  detach(s);
+  // Even a uniquely-owned node can hold shared children; always recurse.
+  for (auto* list : s->child_lists())
+    for (auto& c : *list) detach_deep(c);
 }
 
 }  // namespace fact::ir

@@ -8,6 +8,7 @@
 #include <unordered_set>
 
 #include "ir/hash.hpp"
+#include "sched/fragment_cache.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
 #include "util/strfmt.hpp"
@@ -30,7 +31,36 @@ struct Member {
 
 // ---- EvalCache ---------------------------------------------------------
 
-EvalCache::EvalCache(size_t capacity) : capacity_(std::max<size_t>(1, capacity)) {}
+namespace {
+// Lock striping: caches at least this large are split into kEvalCacheShards
+// stripes. Below it a single shard keeps exact global LRU order — per-shard
+// caps of 0 or 1 entry would evict almost everything.
+constexpr size_t kEvalCacheShards = 16;
+constexpr size_t kShardingThreshold = 4096;
+}  // namespace
+
+EvalCache::EvalCache(size_t capacity)
+    : capacity_(std::max<size_t>(1, capacity)),
+      shards_(capacity_ >= kShardingThreshold ? kEvalCacheShards : 1) {
+  // Spread the capacity across shards; the first capacity % n shards take
+  // the remainder so the caps always sum to exactly capacity_.
+  const size_t n = shards_.size();
+  for (size_t i = 0; i < n; ++i)
+    shards_[i].cap = capacity_ / n + (i < capacity_ % n ? 1 : 0);
+}
+
+size_t EvalCache::shard_index(const Key& k) const {
+  // KeyHash keeps small structural hashes' entropy in its low bits; run a
+  // splitmix64 finalizer so shard selection is uniform for any key shape
+  // (and decorrelated from the shard-local unordered_map's buckets).
+  uint64_t h = KeyHash{}(k);
+  h ^= h >> 30;
+  h *= 0xBF58476D1CE4E5B9ull;
+  h ^= h >> 27;
+  h *= 0x94D049BB133111EBull;
+  h ^= h >> 31;
+  return static_cast<size_t>(h % shards_.size());
+}
 
 EvalCache::Key EvalCache::make_key(uint64_t h, Objective o,
                                    double baseline_len) {
@@ -51,40 +81,49 @@ size_t EvalCache::KeyHash::operator()(const Key& k) const {
 std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t structural_hash,
                                                   Objective objective,
                                                   double baseline_len) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(make_key(structural_hash, objective, baseline_len));
-  if (it == map_.end()) return std::nullopt;
+  const Key key = make_key(structural_hash, objective, baseline_len);
+  const Shard& s = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) return std::nullopt;
   return it->second.entry;
 }
 
 void EvalCache::insert(uint64_t structural_hash, Objective objective,
                        double baseline_len, Entry entry) {
-  std::lock_guard<std::mutex> lock(mu_);
   const Key key = make_key(structural_hash, objective, baseline_len);
-  const auto it = map_.find(key);
-  if (it != map_.end()) {
+  Shard& s = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) {
     // First insertion wins; a re-insert just counts as a use.
-    lru_.splice(lru_.begin(), lru_, it->second.lru);
+    s.lru.splice(s.lru.begin(), s.lru, it->second.lru);
     return;
   }
-  lru_.push_front(key);
-  map_.emplace(key, Slot{std::move(entry), lru_.begin()});
-  while (map_.size() > capacity_) {
-    map_.erase(lru_.back());
-    lru_.pop_back();
+  s.lru.push_front(key);
+  s.map.emplace(key, Slot{std::move(entry), s.lru.begin()});
+  while (s.map.size() > s.cap) {
+    s.map.erase(s.lru.back());
+    s.lru.pop_back();
   }
 }
 
 void EvalCache::touch(uint64_t structural_hash, Objective objective,
                       double baseline_len) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto it = map_.find(make_key(structural_hash, objective, baseline_len));
-  if (it != map_.end()) lru_.splice(lru_.begin(), lru_, it->second.lru);
+  const Key key = make_key(structural_hash, objective, baseline_len);
+  Shard& s = shards_[shard_index(key)];
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it != s.map.end()) s.lru.splice(s.lru.begin(), s.lru, it->second.lru);
 }
 
 size_t EvalCache::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return map_.size();
+  size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
 }
 
 // ---- TransformEngine ---------------------------------------------------
@@ -108,10 +147,18 @@ Evaluation TransformEngine::evaluate(const ir::Function& fn,
                                      const sim::Trace& trace,
                                      Objective objective,
                                      double baseline_len) const {
+  return evaluate_impl(fn, trace, objective, baseline_len, nullptr);
+}
+
+Evaluation TransformEngine::evaluate_impl(
+    const ir::Function& fn, const sim::Trace& trace, Objective objective,
+    double baseline_len, sched::FragmentCache* fragments) const {
   // Re-profile the candidate: transformed control structure means new
   // branch sites. The interpreter is cheap relative to scheduling.
   const sim::Profile profile = sim::profile_function(fn, trace);
-  sched::Scheduler scheduler(lib_, alloc_, sel_, sched_opts_);
+  sched::SchedOptions sopts = sched_opts_;
+  sopts.fragment_cache = fragments;
+  sched::Scheduler scheduler(lib_, alloc_, sel_, sopts);
   const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
 
   // Full validation: the schedule must be structurally sound and legal
@@ -123,11 +170,17 @@ Evaluation TransformEngine::evaluate(const ir::Function& fn,
     verify::check_or_throw(rep);
   }
 
+  // One stationary solve serves both the throughput metric and the power
+  // model (the power estimate reuses pi instead of re-solving the chain).
+  const std::vector<double> pi =
+      stg::state_probabilities(sr.stg, sched_opts_.markov);
   Evaluation ev;
-  ev.avg_len = stg::average_schedule_length(sr.stg);
+  ev.fragment_hits = sr.fragment_hits;
+  ev.fragment_misses = sr.fragment_misses;
+  ev.avg_len = stg::average_schedule_length(sr.stg, pi);
   if (objective == Objective::Power) {
     const power::PowerEstimate est = power::estimate_power_scaled(
-        sr.stg, lib_, baseline_len, power_opts_);
+        sr.stg, lib_, baseline_len, power_opts_, &pi);
     ev.power = est.power;
     ev.vdd = est.vdd;
     // Iso-throughput constraint (Section 2.2): the transformed design must
@@ -136,7 +189,7 @@ Evaluation TransformEngine::evaluate(const ir::Function& fn,
     ev.score = ev.avg_len <= baseline_len * 1.001 ? est.power : 1e30;
   } else {
     const power::PowerEstimate est =
-        power::estimate_power(sr.stg, lib_, power_opts_);
+        power::estimate_power(sr.stg, lib_, power_opts_, &pi);
     ev.power = est.power;
     ev.vdd = est.vdd;
     ev.score = ev.avg_len;
@@ -161,6 +214,12 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   // otherwise.
   EvalCache local_cache(opts_.cache_cap);
   EvalCache& cache = shared_cache ? *shared_cache : local_cache;
+
+  // Region-scoped schedule memoization, one per run: candidates share the
+  // regions they did not mutate, so their schedules reuse each other's
+  // fragments. Never shared across runs — its entries assume this run's
+  // library/allocation/selection/clock.
+  sched::FragmentCache fragment_cache;
 
   // The pool only parallelizes per-candidate work (apply/verify/
   // equivalence/evaluate); neighborhood generation, the RNG, and every
@@ -227,7 +286,8 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   auto compute_entry = [&](const ir::Function& f) {
     EvalCache::Entry e;
     try {
-      e.eval = evaluate(f, trace, objective, baseline_len);
+      e.eval = evaluate_impl(f, trace, objective, baseline_len,
+                             &fragment_cache);
       e.ok = true;
     } catch (const verify::VerifyError& ex) {
       e.failure_class =
@@ -256,6 +316,10 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
       cache.touch(m.hash, objective, baseline_len);
     } else {
       result.cache_misses++;
+      // Fragment traffic is attributed to the evaluations that actually
+      // ran the scheduler; memo hits skipped it entirely.
+      result.fragment_hits += entry.eval.fragment_hits;
+      result.fragment_misses += entry.eval.fragment_misses;
       if (opts_.memoize) cache.insert(m.hash, objective, baseline_len, entry);
     }
     if (!entry.ok) {

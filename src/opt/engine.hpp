@@ -105,6 +105,12 @@ struct Evaluation {
   double power = 0.0;    // estimated power (scaled Vdd in Power mode)
   double vdd = 5.0;
   double score = 0.0;    // objective value; lower is better
+  /// Schedule-fragment cache traffic of the pipeline run that produced
+  /// this evaluation (zero when the evaluation ran without a fragment
+  /// cache, e.g. via the standalone evaluate()). Diagnostic only — the
+  /// metrics above are identical with or without fragment reuse.
+  int fragment_hits = 0;
+  int fragment_misses = 0;
 };
 
 /// Memoized candidate evaluations, keyed by (structural hash, objective,
@@ -121,6 +127,16 @@ struct Evaluation {
 /// serial reduction step — never by lookup(), so lookups within one
 /// evaluation wave see a frozen cache and hit/miss counts are independent
 /// of `jobs`. Thread-safe throughout.
+///
+/// Lock striping: large caches split the key space into 16 shards by key
+/// hash, each with its own mutex, map, and LRU list, so concurrent
+/// lookups from evaluation workers (and from factd sessions sharing the
+/// process-wide cache) contend only when they land on the same shard.
+/// Capacity is divided across shards and eviction is per shard — an
+/// approximation of global LRU that keeps the total entry count within
+/// `capacity`. Small caches (below the striping threshold) keep a single
+/// shard, preserving exact global LRU order where per-shard caps would
+/// distort eviction.
 class EvalCache {
  public:
   struct Entry {
@@ -161,13 +177,22 @@ class EvalCache {
 
   struct Slot {
     Entry entry;
-    std::list<Key>::iterator lru;  // position in lru_ (front = most recent)
+    std::list<Key>::iterator lru;  // position in Shard::lru (front = MRU)
   };
 
+  /// One lock stripe: independent mutex, map, and LRU list over a slice of
+  /// the key space. `cap` is this shard's share of the total capacity.
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<Key, Slot, KeyHash> map;
+    std::list<Key> lru;  // front = most recently used
+    size_t cap = 0;
+  };
+
+  size_t shard_index(const Key& k) const;
+
   const size_t capacity_;
-  mutable std::mutex mu_;
-  std::unordered_map<Key, Slot, KeyHash> map_;
-  std::list<Key> lru_;
+  std::vector<Shard> shards_;
 };
 
 struct EngineResult {
@@ -183,6 +208,18 @@ struct EngineResult {
   int cache_hits = 0;
   int cache_misses = 0;
   int rejected_nonequivalent = 0;        // candidates failing trace equivalence
+
+  /// Schedule-fragment cache traffic (src/sched/fragment_cache.hpp),
+  /// summed over the evaluations that actually ran the scheduler (memo
+  /// misses). A fragment hit reused a region's scheduled DFG from an
+  /// earlier candidate instead of re-running DFG build + list scheduling.
+  /// Unlike the EvalCache counters these are not asserted jobs-invariant:
+  /// with jobs > 1, workers racing to first-compute one fragment may each
+  /// count a miss where a serial run counts one miss + one hit. The
+  /// schedules — and therefore every result and metric — are identical
+  /// regardless (cached entries are pure functions of their keys).
+  int fragment_hits = 0;
+  int fragment_misses = 0;
 
   /// Candidates removed by the transactional evaluation wrapper (failed
   /// apply, verifier rejection, equivalence failure, or an exception while
@@ -228,6 +265,13 @@ class TransformEngine {
                       Objective objective, double baseline_len) const;
 
  private:
+  /// evaluate() with an optional schedule-fragment cache. optimize() owns
+  /// one FragmentCache per run and routes every candidate evaluation
+  /// through it; the public evaluate() passes null (no cache).
+  Evaluation evaluate_impl(const ir::Function& fn, const sim::Trace& trace,
+                           Objective objective, double baseline_len,
+                           sched::FragmentCache* fragments) const;
+
   // Hardware context is stored by value (callers pass temporaries); the
   // transform library is a reference — it is not copyable and must outlive
   // the engine.

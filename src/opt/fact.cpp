@@ -26,8 +26,13 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
   // comparison (and the Vdd-scaling equation) refers to.
   sched::Scheduler scheduler(lib, alloc, sel, opts.sched);
   sched::ScheduleResult initial = scheduler.schedule(fn, profile);
-  result.initial_avg_len = stg::average_schedule_length(initial.stg);
-  result.initial_power = power::estimate_power(initial.stg, lib, opts.power);
+  {
+    const std::vector<double> pi =
+        stg::state_probabilities(initial.stg, opts.sched.markov);
+    result.initial_avg_len = stg::average_schedule_length(initial.stg, pi);
+    result.initial_power =
+        power::estimate_power(initial.stg, lib, opts.power, &pi);
+  }
   result.log.push_back(strfmt("initial schedule: %zu states, avg length %.2f",
                               initial.stg.num_states(),
                               result.initial_avg_len));
@@ -54,6 +59,8 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
     result.evaluations += er.evaluations;
     result.cache_hits += er.cache_hits;
     result.cache_misses += er.cache_misses;
+    result.fragment_hits += er.fragment_hits;
+    result.fragment_misses += er.fragment_misses;
     result.quarantined += er.quarantined;
     for (const auto& [cls, n] : er.quarantine_by_class)
       result.quarantine_by_class[cls] += n;
@@ -77,13 +84,19 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
   // Final schedule + metrics of the winner.
   const sim::Profile final_profile = sim::profile_function(current, trace);
   result.schedule = scheduler.schedule(current, final_profile);
-  result.final_avg_len = stg::average_schedule_length(result.schedule.stg);
-  if (opts.objective == Objective::Power) {
-    result.final_power = power::estimate_power_scaled(
-        result.schedule.stg, lib, result.initial_avg_len, opts.power);
-  } else {
-    result.final_power =
-        power::estimate_power(result.schedule.stg, lib, opts.power);
+  {
+    const std::vector<double> pi =
+        stg::state_probabilities(result.schedule.stg, opts.sched.markov);
+    result.final_avg_len =
+        stg::average_schedule_length(result.schedule.stg, pi);
+    if (opts.objective == Objective::Power) {
+      result.final_power =
+          power::estimate_power_scaled(result.schedule.stg, lib,
+                                       result.initial_avg_len, opts.power, &pi);
+    } else {
+      result.final_power =
+          power::estimate_power(result.schedule.stg, lib, opts.power, &pi);
+    }
   }
   if (result.evaluations > 0)
     result.log.push_back(strfmt(

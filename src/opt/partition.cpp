@@ -8,7 +8,10 @@ namespace fact::opt {
 
 std::vector<StgBlock> partition_stg(const stg::Stg& stg, double threshold) {
   const std::vector<double> pi = stg::state_probabilities(stg);
-  const std::vector<double> freq = stg::edge_frequencies(stg);
+  std::vector<double> freq;
+  freq.reserve(stg.num_edges());
+  for (const stg::Edge& e : stg.edges())
+    freq.push_back(pi[static_cast<size_t>(e.from)] * e.prob);
 
   double max_freq = 0.0;
   for (double f : freq) max_freq = std::max(max_freq, f);

@@ -13,9 +13,11 @@ namespace {
 /// scaled by the average schedule length (Example 1's
 /// "119.11 x (P_S1 x 1 + P_S5 x 1)" computation).
 PowerEstimate accumulate(const stg::Stg& stg, const hlslib::Library& lib,
-                         const PowerOptions& opts) {
+                         const PowerOptions& opts,
+                         const std::vector<double>* pi_in) {
   PowerEstimate est;
-  const std::vector<double> pi = stg::state_probabilities(stg);
+  const std::vector<double> pi =
+      pi_in ? *pi_in : stg::state_probabilities(stg);
   est.avg_schedule_length = stg::average_schedule_length(stg, pi);
 
   double reg_rate = 0.0;
@@ -60,8 +62,9 @@ std::string PowerEstimate::report() const {
 }
 
 PowerEstimate estimate_power(const stg::Stg& stg, const hlslib::Library& lib,
-                             const PowerOptions& opts) {
-  PowerEstimate est = accumulate(stg, lib, opts);
+                             const PowerOptions& opts,
+                             const std::vector<double>* pi) {
+  PowerEstimate est = accumulate(stg, lib, opts, pi);
   est.vdd = opts.vdd;
   const double energy = est.energy_coeff_total * opts.vdd * opts.vdd;
   est.power = energy / (est.avg_schedule_length * opts.clock_ns);
@@ -96,8 +99,9 @@ double structural_overhead_fraction(const stg::Stg& stg,
 PowerEstimate estimate_power_scaled(const stg::Stg& stg,
                                     const hlslib::Library& lib,
                                     double baseline_avg_length,
-                                    const PowerOptions& opts) {
-  PowerEstimate est = accumulate(stg, lib, opts);
+                                    const PowerOptions& opts,
+                                    const std::vector<double>* pi) {
+  PowerEstimate est = accumulate(stg, lib, opts, pi);
   // Scale Vdd until this design slows down to the baseline's schedule
   // length. The schedule length in cycles at 5V, expressed at the scaled
   // voltage, becomes exactly baseline_avg_length (Example 1: 119.11 cycles

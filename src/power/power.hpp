@@ -38,8 +38,14 @@ struct PowerEstimate {
 
 /// Estimates average power of a scheduled design at `opts.vdd` (no
 /// voltage scaling): Example 1's first computation.
+///
+/// `pi` optionally supplies the precomputed stationary distribution of
+/// `stg` (as returned by stg::state_probabilities); callers that already
+/// solved the chain — the optimizer solves it for the schedule length —
+/// pass it to avoid a second solve. nullptr recomputes internally.
 PowerEstimate estimate_power(const stg::Stg& stg, const hlslib::Library& lib,
-                             const PowerOptions& opts = {});
+                             const PowerOptions& opts = {},
+                             const std::vector<double>* pi = nullptr);
 
 /// Power-optimization-mode estimate: scales the supply voltage down until
 /// the design's average schedule length (in equivalent cycles) rises to
@@ -49,7 +55,8 @@ PowerEstimate estimate_power(const stg::Stg& stg, const hlslib::Library& lib,
 PowerEstimate estimate_power_scaled(const stg::Stg& stg,
                                     const hlslib::Library& lib,
                                     double baseline_avg_length,
-                                    const PowerOptions& opts = {});
+                                    const PowerOptions& opts = {},
+                                    const std::vector<double>* pi = nullptr);
 
 /// Structural overhead model: instead of the flat `overhead_fraction`,
 /// derives the interconnect + controller energy from a datapath binding

@@ -8,7 +8,9 @@
 #include <optional>
 #include <set>
 
+#include "ir/hash.hpp"
 #include "sched/dfg.hpp"
+#include "sched/fragment_cache.hpp"
 #include "util/error.hpp"
 #include "util/strfmt.hpp"
 
@@ -77,6 +79,21 @@ bool loops_independent(const RwSets& a, const RwSets& b) {
 
 int lcm_int(int a, int b) { return a / std::gcd(a, b) * b; }
 
+/// Key folding for fragment-cache keys (same splitmix64-style mix as
+/// ir::hash so key quality matches).
+uint64_t key_mix(uint64_t seed, uint64_t v) {
+  v += 0x9E3779B97F4A7C15ull;
+  v = (v ^ (v >> 30)) * 0xBF58476D1CE4E5B9ull;
+  v = (v ^ (v >> 27)) * 0x94D049BB133111EBull;
+  v ^= v >> 31;
+  return seed * 0x100000001B3ull ^ v;
+}
+
+// Fragment kinds live in disjoint key spaces.
+constexpr uint64_t kTagStraight = 0x51A16u;
+constexpr uint64_t kTagCond = 0xC09Du;
+constexpr uint64_t kTagPipe = 0x919Eu;
+
 /// A pending transition into the next state to be created.
 struct Attach {
   int state = -1;
@@ -116,6 +133,8 @@ class Emitter {
     result.stg = std::move(stg_);
     result.loops = std::move(loops_);
     result.rtl_exact = rtl_exact_;
+    result.fragment_hits = frag_hits_;
+    result.fragment_misses = frag_misses_;
     return result;
   }
 
@@ -210,6 +229,69 @@ class Emitter {
     return {first, last};
   }
 
+  // ---- fragment cache ---------------------------------------------------
+
+  uint64_t straight_key(const std::vector<const Stmt*>& stmts) const {
+    uint64_t h = key_mix(kTagStraight, stmts.size());
+    for (const Stmt* s : stmts) h = key_mix(h, ir::fragment_hash(*s));
+    return h;
+  }
+
+  uint64_t cond_key(const ExprPtr& cond, int stmt_id) const {
+    uint64_t h = key_mix(kTagCond, static_cast<uint64_t>(cond->hash()));
+    return key_mix(h, static_cast<uint64_t>(static_cast<int64_t>(stmt_id)));
+  }
+
+  uint64_t pipe_key(const std::vector<const Stmt*>& body_stmts,
+                    const ExprPtr& cond, int stmt_id) const {
+    uint64_t h = key_mix(kTagPipe, body_stmts.size());
+    for (const Stmt* s : body_stmts) h = key_mix(h, ir::fragment_hash(*s));
+    h = key_mix(h, static_cast<uint64_t>(cond->hash()));
+    return key_mix(h, static_cast<uint64_t>(static_cast<int64_t>(stmt_id)));
+  }
+
+  /// Runs `build` (DFG construction + scheduling) through the fragment
+  /// cache: a hit returns the previously scheduled entry, a miss computes
+  /// and publishes it. fact::Error failures are cached too and rethrown
+  /// with the identical message, so a cached failure is indistinguishable
+  /// from a recomputed one. Exceptions other than fact::Error propagate
+  /// uncached.
+  template <typename BuildFn>
+  std::shared_ptr<const FragmentCache::Entry> fragment(uint64_t key,
+                                                       BuildFn&& build) {
+    FragmentCache* cache = opts_.fragment_cache;
+    if (cache) {
+      if (auto entry = cache->lookup(key)) {
+        frag_hits_++;
+        if (!entry->ok) throw Error(entry->error);
+        return entry;
+      }
+    }
+    auto fresh = std::make_shared<FragmentCache::Entry>();
+    try {
+      build(*fresh);
+      fresh->ok = true;
+    } catch (const Error& ex) {
+      fresh->error = ex.what();
+    }
+    std::shared_ptr<const FragmentCache::Entry> entry = fresh;
+    if (cache) {
+      frag_misses_++;
+      entry = cache->insert(key, std::move(fresh));
+    }
+    if (!entry->ok) throw Error(entry->error);
+    return entry;
+  }
+
+  /// Cached build + schedule of a branch/loop condition evaluation.
+  std::shared_ptr<const FragmentCache::Entry> cond_fragment(
+      const ExprPtr& cond, int stmt_id) {
+    return fragment(cond_key(cond, stmt_id), [&](FragmentCache::Entry& e) {
+      e.dfg = builder_.build({}, cond, stmt_id);
+      schedule_plain(e.dfg);
+    });
+  }
+
   double branch_prob(int stmt_id) const {
     return clamp_prob(profile_.branch_prob(stmt_id, 0.5));
   }
@@ -288,18 +370,20 @@ class Emitter {
   }
 
   std::vector<Attach> emit_straight(const Region& r, std::vector<Attach> in) {
-    Dfg dfg = builder_.build(r.stmts);
-    if (dfg.nodes.empty()) return in;
-    schedule_plain(dfg);
-    auto [first, last] = materialize(dfg);
+    const auto entry =
+        fragment(straight_key(r.stmts), [&](FragmentCache::Entry& e) {
+          e.dfg = builder_.build(r.stmts);
+          if (!e.dfg.nodes.empty()) schedule_plain(e.dfg);
+        });
+    if (entry->dfg.nodes.empty()) return in;
+    auto [first, last] = materialize(entry->dfg);
     connect(in, first);
     return {{last, 1.0, ""}};
   }
 
   std::vector<Attach> emit_if(const Region& r, std::vector<Attach> in) {
-    Dfg cond_dfg = builder_.build({}, r.ctrl->cond, r.ctrl->id);
-    schedule_plain(cond_dfg);
-    auto [cfirst, clast] = materialize(cond_dfg);
+    const auto cond = cond_fragment(r.ctrl->cond, r.ctrl->id);
+    auto [cfirst, clast] = materialize(cond->dfg);
     connect(in, cfirst);
     const double p = branch_prob(r.ctrl->id);
     std::vector<Attach> outs =
@@ -319,9 +403,8 @@ class Emitter {
     }
 
     // General path: test states, body, back edge.
-    Dfg test_dfg = builder_.build({}, r.ctrl->cond, r.ctrl->id);
-    schedule_plain(test_dfg);
-    auto [tfirst, tlast] = materialize(test_dfg);
+    const auto test = cond_fragment(r.ctrl->cond, r.ctrl->id);
+    auto [tfirst, tlast] = materialize(test->dfg);
     connect(in, tfirst);
     std::vector<Attach> body_out =
         emit_seq(*r.children[0], {{tlast, p, "loop"}});
@@ -346,81 +429,116 @@ class Emitter {
   /// This structure is functionally exact for the RTL backend and only
   /// adds entry/exit states that the steady state amortizes.
   /// Returns false if pipelining is infeasible.
+  /// Derived per-op pipeline bookkeeping of a modulo-scheduled body:
+  /// lags (slot wraparounds along each op's dependence chain — how many
+  /// traversals behind the newest iteration it runs) and the drain debts
+  /// owed when the check fires the exit. O(nodes + dependence edges), so
+  /// cached pipelined fragments re-derive it from the stored DFG instead
+  /// of storing it.
+  struct PipeDerived {
+    int body_csteps = 0;
+    int cond_cstep = 0;
+    int check_slot = 0;
+    std::vector<int> lag;
+    std::vector<int> owed;
+    int max_owed = 0;
+  };
+
+  static PipeDerived derive_pipe(const Dfg& dfg, int ii) {
+    PipeDerived d;
+    d.body_csteps = dfg.num_csteps();
+    d.cond_cstep = dfg.nodes[static_cast<size_t>(dfg.cond_node)].avail_cstep();
+    d.check_slot = d.cond_cstep % ii;
+    d.lag.assign(dfg.nodes.size(), 0);
+    for (size_t i = 0; i < dfg.nodes.size(); ++i) {
+      const DfgNode& node = dfg.nodes[i];
+      for (int pidx : node.preds) {
+        const DfgNode& pred = dfg.nodes[static_cast<size_t>(pidx)];
+        const int wrap = pred.cstep % ii > node.cstep % ii ? 1 : 0;
+        d.lag[i] = std::max(d.lag[i], d.lag[static_cast<size_t>(pidx)] + wrap);
+      }
+    }
+    const int check_lag = d.lag[static_cast<size_t>(dfg.cond_node)];
+    d.owed.assign(dfg.nodes.size(), 0);
+    for (size_t i = 0; i < dfg.nodes.size(); ++i) {
+      const int extra = dfg.nodes[i].cstep % ii > d.check_slot ? 1 : 0;
+      d.owed[i] = std::max(0, d.lag[i] - check_lag + extra);
+      d.max_owed = std::max(d.max_owed, d.owed[i]);
+    }
+    return d;
+  }
+
+  /// Drain representability for relaxed anti-dependences: a reader
+  /// flushed in the drain still has a single shadow level available.
+  /// With the def having run in the truncated final traversal iff its
+  /// slot <= check slot, the reader's desired value must be the def's
+  /// most recent execution or one update older.
+  static bool drain_representable(const Dfg& dfg, int ii,
+                                  const PipeDerived& d) {
+    for (size_t i = 0; i < dfg.nodes.size(); ++i) {
+      const DfgNode& node = dfg.nodes[i];
+      if (!node.relax_war) continue;
+      for (int p : node.war_preds) {
+        const DfgNode& r = dfg.nodes[static_cast<size_t>(p)];
+        if (r.cstep < 0 || d.owed[static_cast<size_t>(p)] <= 0) continue;
+        const int ran = node.cstep % ii <= d.check_slot ? 0 : 1;
+        const int gap =
+            (d.lag[static_cast<size_t>(p)] + 1) - (d.lag[i] + ran);
+        if (gap < 0 || gap > 1) return false;
+      }
+    }
+    return true;
+  }
+
   bool emit_pipelined_loop(const Region& r, double p,
                            const std::vector<Attach>& in,
                            std::vector<Attach>* out) {
     const std::vector<const Stmt*> body_stmts =
         r.children[0]->children.empty() ? std::vector<const Stmt*>{}
                                         : r.children[0]->children[0]->stmts;
-    const Dfg base = builder_.build(body_stmts, r.ctrl->cond, r.ctrl->id);
-    check_feasible(base);
-    const int res_ii = resource_min_ii(base, alloc_);
-    if (res_ii < 0) return false;
-
-    for (int ii = res_ii; ii <= opts_.max_ii; ++ii) {
-      Dfg dfg = base;
-      ResourceTable table(lib_, alloc_, ii);
-      if (!list_schedule(dfg, table, opts_.clock_ns, ii)) continue;
-      if (!recurrences_ok(dfg, ii)) continue;
-      if (!pipeline_lags_consistent(dfg, ii)) continue;
-
-      const int body_csteps = dfg.num_csteps();
-      const int cond_cstep =
-          dfg.nodes[static_cast<size_t>(dfg.cond_node)].avail_cstep();
-
-      // Pipeline lags: slot-wraparounds along each op's dependence chain
-      // (how many traversals behind the newest iteration it runs).
-      const int check_slot = cond_cstep % ii;
-      std::vector<int> lag(dfg.nodes.size(), 0);
-      for (size_t i = 0; i < dfg.nodes.size(); ++i) {
-        const DfgNode& node = dfg.nodes[i];
-        for (int pidx : node.preds) {
-          const DfgNode& pred = dfg.nodes[static_cast<size_t>(pidx)];
-          const int wrap = pred.cstep % ii > node.cstep % ii ? 1 : 0;
-          lag[i] = std::max(lag[i], lag[static_cast<size_t>(pidx)] + wrap);
-        }
-      }
-      const int check_lag = lag[static_cast<size_t>(dfg.cond_node)];
-      std::vector<int> owed(dfg.nodes.size(), 0);
-      int max_owed = 0;
-      for (size_t i = 0; i < dfg.nodes.size(); ++i) {
-        const int extra = dfg.nodes[i].cstep % ii > check_slot ? 1 : 0;
-        owed[i] = std::max(0, lag[i] - check_lag + extra);
-        max_owed = std::max(max_owed, owed[i]);
-      }
-
-      // Drain representability for relaxed anti-dependences: a reader
-      // flushed in the drain still has a single shadow level available.
-      // With the def having run in the truncated final traversal iff its
-      // slot <= check slot, the reader's desired value must be the def's
-      // most recent execution or one update older.
-      {
-        bool drain_ok = true;
-        for (size_t i = 0; i < dfg.nodes.size() && drain_ok; ++i) {
-          const DfgNode& node = dfg.nodes[i];
-          if (!node.relax_war) continue;
-          for (int p : node.war_preds) {
-            const DfgNode& r = dfg.nodes[static_cast<size_t>(p)];
-            if (r.cstep < 0 || owed[static_cast<size_t>(p)] <= 0) continue;
-            const int ran = node.cstep % ii <= check_slot ? 0 : 1;
-            const int gap =
-                (lag[static_cast<size_t>(p)] + 1) - (lag[i] + ran);
-            if (gap < 0 || gap > 1) {
-              drain_ok = false;
-              break;
-            }
+    // The II search through the fragment cache: the winning modulo
+    // schedule — or the not-pipelineable verdict — is a pure function of
+    // the body + condition fragment.
+    const auto entry = fragment(
+        pipe_key(body_stmts, r.ctrl->cond, r.ctrl->id),
+        [&](FragmentCache::Entry& e) {
+          const Dfg base =
+              builder_.build(body_stmts, r.ctrl->cond, r.ctrl->id);
+          check_feasible(base);
+          const int res_ii = resource_min_ii(base, alloc_);
+          if (res_ii < 0) return;  // e.pipelined stays false
+          for (int ii = res_ii; ii <= opts_.max_ii; ++ii) {
+            Dfg dfg = base;
+            ResourceTable table(lib_, alloc_, ii);
+            if (!list_schedule(dfg, table, opts_.clock_ns, ii)) continue;
+            if (!recurrences_ok(dfg, ii)) continue;
+            if (!pipeline_lags_consistent(dfg, ii)) continue;
+            if (!drain_representable(dfg, ii, derive_pipe(dfg, ii)))
+              continue;  // try the next II
+            e.pipelined = true;
+            e.ii = ii;
+            e.dfg = std::move(dfg);
+            return;
           }
-        }
-        if (!drain_ok) continue;  // try the next II
-      }
+        });
+    if (!entry->pipelined) return false;
 
+    const Dfg& dfg = entry->dfg;
+    const int ii = entry->ii;
+    const PipeDerived derived = derive_pipe(dfg, ii);
+    const int body_csteps = derived.body_csteps;
+    const int cond_cstep = derived.cond_cstep;
+    const std::vector<int>& lag = derived.lag;
+    const std::vector<int>& owed = derived.owed;
+    const int max_owed = derived.max_owed;
+
+    {
       const std::vector<std::string> wires = assign_wires(dfg);
       const std::string cond_wire = wires[static_cast<size_t>(dfg.cond_node)];
 
       // Guard: the while-test on entry values (separate evaluation).
-      Dfg guard_dfg = builder_.build({}, r.ctrl->cond, r.ctrl->id);
-      schedule_plain(guard_dfg);
-      auto [gfirst, glast] = materialize(guard_dfg);
+      const auto guard = cond_fragment(r.ctrl->cond, r.ctrl->id);
+      auto [gfirst, glast] = materialize(guard->dfg);
       connect(in, gfirst);
       std::vector<Attach> exits;
       exits.push_back({glast, 1.0 - p, "exit"});
@@ -531,7 +649,6 @@ class Emitter {
       loops_.push_back(info);
       return true;
     }
-    return false;
   }
 
   /// Concurrent-loop phases: execute the run's loops together, sharing
@@ -770,6 +887,8 @@ class Emitter {
   int wire_counter_ = 0;
   int next_ring_id_ = 0;
   bool rtl_exact_ = true;
+  int frag_hits_ = 0;
+  int frag_misses_ = 0;
 };
 
 }  // namespace

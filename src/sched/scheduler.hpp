@@ -11,6 +11,8 @@
 
 namespace fact::sched {
 
+class FragmentCache;
+
 /// Scheduler configuration. Defaults reproduce the paper's setup: 25ns
 /// clock, 5V supply, and all three integrated scheduling capabilities on
 /// (implicit loop unrolling via pipelining, and concurrent-loop
@@ -26,10 +28,23 @@ struct SchedOptions {
   size_t max_fused = 4;        // at most this many loops fused at once
   int max_hyperperiod = 64;    // fused-phase schedule table size cap
   /// Pathological-schedule guard: abort (fact::Error) when emission
-  /// produces more states than this. Downstream STG analysis is O(n^3) in
-  /// the state count, so a runaway candidate (e.g. an over-unrolled loop)
-  /// would otherwise hang the whole optimization loop. 0 = unlimited.
+  /// produces more states than this. Downstream STG analysis used to be
+  /// O(n^3) in the state count; the sparse stationary solver softens that,
+  /// but a runaway candidate (e.g. an over-unrolled loop) would still
+  /// drown the optimization loop. 0 = unlimited.
   size_t max_states = 100000;
+  /// Stationary-distribution solver used by every downstream analysis of
+  /// this schedule's STG (throughput, power, partitioning). Lives here so
+  /// one knob steers the whole flow and benches can ablate dense vs
+  /// sparse.
+  stg::MarkovOptions markov;
+  /// Optional region-scoped schedule memoization, shared across schedule()
+  /// calls (the optimizer owns one per optimize() run). Borrowed, not
+  /// owned; must outlive every Scheduler constructed with these options.
+  /// nullptr disables fragment caching. FragmentCache is internally
+  /// synchronized, so this is compatible with schedule()'s thread-safety
+  /// contract.
+  FragmentCache* fragment_cache = nullptr;
 };
 
 /// What the scheduler decided for one loop (for reports and benches).
@@ -50,6 +65,14 @@ struct ScheduleResult {
   /// stale wires around phase transitions. Schedule with
   /// SchedOptions::fuse_loops = false to guarantee RTL-exact output.
   bool rtl_exact = true;
+  /// Fragment-cache traffic of this schedule() call (both zero when
+  /// SchedOptions::fragment_cache is null). A hit skipped one region's
+  /// DFG build + list schedule (or a pipelined loop's whole II search).
+  /// The schedule itself is identical either way; under concurrent
+  /// schedule() calls only the hit/miss attribution of racing first
+  /// computes can vary, never the output.
+  int fragment_hits = 0;
+  int fragment_misses = 0;
 
   const LoopInfo* loop_info(int stmt_id) const {
     for (const auto& l : loops)

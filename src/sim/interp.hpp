@@ -2,6 +2,7 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -60,14 +61,23 @@ struct RunStats {
 ///  * `&&`/`||` evaluate both operands (hardware evaluates both cones);
 ///  * execution aborts with fact::Error after `max_steps` statements,
 ///    which catches accidentally non-terminating behaviors.
+///
+/// Construction compiles the function once into a slot-indexed program:
+/// every scalar and array name is resolved to a dense register/memory
+/// index, so per-stimulus execution never touches a string. The optimizer
+/// interprets each candidate over a whole trace (profiling plus the
+/// equivalence check), which made string-keyed environment lookups the
+/// single largest cost of a FACT run. The compiled program snapshots the
+/// function: the Function need not outlive the Interpreter.
 class Interpreter {
  public:
-  explicit Interpreter(const ir::Function& fn) : fn_(fn) {}
+  explicit Interpreter(const ir::Function& fn);
 
   void set_max_steps(uint64_t n) { max_steps_ = n; }
 
   /// Runs one execution; accumulates branch statistics into `stats` if
-  /// non-null.
+  /// non-null. (On an aborted run — step limit, unknown array — `stats`
+  /// is left untouched rather than partially updated.)
   Observation run(const Stimulus& in, RunStats* stats = nullptr) const;
 
   /// Evaluates a single expression in an environment (exposed for tests
@@ -76,8 +86,10 @@ class Interpreter {
                       const std::map<std::string, int64_t>& scalars,
                       const std::map<std::string, std::vector<int64_t>>& arrays);
 
+  struct Program;  // compiled form; defined in interp.cpp
+
  private:
-  const ir::Function& fn_;
+  std::shared_ptr<const Program> prog_;
   uint64_t max_steps_ = 10'000'000;
 };
 

@@ -100,11 +100,50 @@ class Stg {
   int entry_ = 0;
 };
 
+/// Stationary-distribution solver selection. The STG's transition matrix
+/// is extremely sparse (branch factor <= 2 for almost every state), so the
+/// sparse Gauss-Seidel solver wins asymptotically; the dense direct solver
+/// stays exact and faster for small chains.
+enum class MarkovSolver {
+  Auto,    // dense at or below MarkovOptions::dense_cutoff states
+  Dense,   // always Gaussian elimination (O(n^3), exact)
+  Sparse,  // always Gauss-Seidel over CSR adjacency (dense on divergence)
+};
+
+struct MarkovOptions {
+  MarkovSolver solver = MarkovSolver::Auto;
+  /// Auto: chains with at most this many states use the dense solver
+  /// (below this size the O(n^3) direct solve beats sweep overhead and is
+  /// exact to machine precision).
+  size_t dense_cutoff = 48;
+  /// Sparse: converged when the L1 distance between consecutive
+  /// normalized sweeps drops below this.
+  double tolerance = 1e-12;
+  /// Sparse: fall back to the dense solver after this many sweeps.
+  int max_sweeps = 512;
+};
+
+/// Observability for benches ablating dense vs sparse.
+struct MarkovStats {
+  bool used_sparse = false;  // the returned pi came from Gauss-Seidel
+  int sweeps = 0;            // Gauss-Seidel sweeps performed
+  bool fell_back = false;    // sparse did not converge; dense solved it
+};
+
 /// Steady-state probability of every state (the method of ref [10] of the
-/// paper): solves pi = pi * P with sum(pi) = 1 by Gaussian elimination.
-/// Requires a validated, strongly-connected-enough chain; states that are
-/// unreachable in the stationary distribution get probability 0.
+/// paper): solves pi = pi * P with sum(pi) = 1. States that are transient
+/// in the stationary distribution get probability 0. Throws fact::Error
+/// when the chain has no unique stationary distribution (more or fewer
+/// than one closed communicating class), whichever solver runs.
+///
+/// The default overload uses MarkovSolver::Auto: a dense direct solve for
+/// small chains and sparse Gauss-Seidel over the incoming-edge CSR
+/// adjacency above MarkovOptions::dense_cutoff. Both paths iterate states
+/// in index order, so the result is deterministic for a given Stg.
 std::vector<double> state_probabilities(const Stg& stg);
+std::vector<double> state_probabilities(const Stg& stg,
+                                        const MarkovOptions& opts,
+                                        MarkovStats* stats = nullptr);
 
 /// Average schedule length in cycles: the expected number of cycles to
 /// complete one execution of the behavior. Computed as

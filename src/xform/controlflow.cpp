@@ -38,7 +38,11 @@ bool expr_reads_memory(const ExprPtr& e) {
   return reads;
 }
 
-/// The statement list that directly contains stmt_id, or nullptr.
+/// The statement list that directly contains stmt_id, or nullptr. The
+/// mutable overload goes through Function::body(), which detaches the
+/// whole tree (copy-on-write) because the caller may edit any part of the
+/// returned list; read-only pattern matching must use the const overload,
+/// which leaves sharing intact.
 std::vector<StmtPtr>* find_parent_list(ir::Function& fn, int stmt_id) {
   std::vector<StmtPtr>* found = nullptr;
   std::function<void(std::vector<StmtPtr>&)> walk =
@@ -49,6 +53,27 @@ std::vector<StmtPtr>* find_parent_list(ir::Function& fn, int stmt_id) {
             return;
           }
           for (auto* child : s->child_lists()) {
+            walk(*child);
+            if (found) return;
+          }
+        }
+      };
+  if (fn.body()) walk(fn.body()->stmts);
+  return found;
+}
+
+const std::vector<StmtPtr>* find_parent_list(const ir::Function& fn,
+                                             int stmt_id) {
+  const std::vector<StmtPtr>* found = nullptr;
+  std::function<void(const std::vector<StmtPtr>&)> walk =
+      [&](const std::vector<StmtPtr>& list) {
+        for (const auto& s : list) {
+          if (s->id == stmt_id) {
+            found = &list;
+            return;
+          }
+          for (const auto* child :
+               static_cast<const Stmt&>(*s).child_lists()) {
             walk(*child);
             if (found) return;
           }
@@ -318,9 +343,10 @@ class LoopUnrolling final : public Transform {
     }
 
     // Initial value: the assignment `var = const` immediately preceding the
-    // loop in its parent list.
-    ir::Function& mfn = const_cast<ir::Function&>(fn);
-    std::vector<StmtPtr>* list = find_parent_list(mfn, loop.id);
+    // loop in its parent list. Read-only: find() runs against functions
+    // whose subtrees may be shared (and concurrently read) by other
+    // candidates, so this must not take any mutable path.
+    const std::vector<StmtPtr>* list = find_parent_list(fn, loop.id);
     if (!list) return -1;
     size_t idx = 0;
     while (idx < list->size() && (*list)[idx]->id != loop.id) ++idx;

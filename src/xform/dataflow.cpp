@@ -4,6 +4,7 @@
 // the definitions substitution leaves behind — dead operations would still
 // burn functional units and power if left in the schedule).
 
+#include <utility>
 #include <set>
 
 #include "ir/edit.hpp"
@@ -101,8 +102,10 @@ class ForwardSubstitution final : public Transform {
 
   ir::Function apply(const ir::Function& fn, const Candidate& c) const override {
     ir::Function g = fn.clone();
-    const Stmt* def = g.find_stmt(c.variant);
+    // Mutable lookup first (it copies the spine to `use`); the definition
+    // is only read, so a const lookup keeps its subtree shared.
     Stmt* use = g.find_stmt(c.stmt_id);
+    const Stmt* def = std::as_const(g).find_stmt(c.variant);
     if (!def || !use || def->kind != StmtKind::Assign)
       throw Error("fwdsub: candidate statements not found");
     auto slots = use->expr_slots();
@@ -146,7 +149,7 @@ class DeadCodeElimination final : public Transform {
 
   ir::Function apply(const ir::Function& fn, const Candidate& c) const override {
     ir::Function g = fn.clone();
-    const Stmt* s = g.find_stmt(c.stmt_id);
+    const Stmt* s = std::as_const(g).find_stmt(c.stmt_id);
     if (!s || s->kind != StmtKind::Assign)
       throw Error("dce: candidate statement not found");
     if (!ir::replace_stmt(g, c.stmt_id, {}))

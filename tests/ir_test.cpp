@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <utility>
+
 #include "ir/edit.hpp"
 #include "ir/expr.hpp"
 #include "ir/function.hpp"
@@ -339,6 +341,87 @@ TEST(StructuralHash, DistinguishesStmtKindsWithSharedFields) {
   const StmtPtr w =
       Stmt::while_stmt(v("p"), make_vector(Stmt::assign("x", c(1))));
   EXPECT_NE(structural_hash(*a), structural_hash(*w));
+}
+
+// ---- Copy-on-write Function sharing ------------------------------------
+
+/// A body with some nesting so path-copies leave real subtrees shared:
+///   { a = 1; while (a < n) { if (a > 2) { b = a; } a = a + 1; } c = b; }
+Function cow_fixture() {
+  Function f("cw");
+  f.add_param("n");
+  f.set_body(Stmt::block(make_vector(
+      Stmt::assign("a", c(1)),
+      Stmt::while_stmt(
+          Expr::binary(Op::Lt, v("a"), v("n")),
+          make_vector(Stmt::if_stmt(Expr::binary(Op::Gt, v("a"), c(2)),
+                                    make_vector(Stmt::assign("b", v("a")))),
+                      Stmt::assign("a", Expr::binary(Op::Add, v("a"), c(1))))),
+      Stmt::assign("c", v("b")))));
+  return f;
+}
+
+TEST(Cow, CloneSharesAndEditDetaches) {
+  Function f = cow_fixture();
+  const uint64_t h = structural_hash(f);
+  Function g = f.clone();
+  // The clone shares the body outright; no statement was copied.
+  EXPECT_EQ(std::as_const(f).body()->stmts[0].get(),
+            std::as_const(g).body()->stmts[0].get());
+  // Mutating the child through ir::edit leaves the parent untouched.
+  std::vector<StmtPtr> repl;
+  repl.push_back(Stmt::assign("c", c(7)));
+  const int cid = std::as_const(g).body()->stmts[2]->id;
+  ASSERT_TRUE(replace_stmt(g, cid, std::move(repl)));
+  EXPECT_EQ(structural_hash(f), h);
+  EXPECT_NE(structural_hash(g), h);
+  // Untouched siblings are still the same nodes.
+  EXPECT_EQ(std::as_const(f).body()->stmts[1].get(),
+            std::as_const(g).body()->stmts[1].get());
+}
+
+TEST(Cow, MutableFindStmtIsolatesTheChild) {
+  Function f = cow_fixture();
+  const uint64_t h = structural_hash(f);
+  const std::string before = f.str();
+  Function g = f.clone();
+  // Mutate deep inside the loop through the child's mutable accessor.
+  const int target =
+      std::as_const(g).body()->stmts[1]->then_stmts[1]->id;
+  Stmt* s = g.find_stmt(target);
+  ASSERT_NE(s, nullptr);
+  s->value = c(99);
+  EXPECT_EQ(structural_hash(f), h);
+  EXPECT_EQ(f.str(), before);
+  EXPECT_NE(g.str(), before);
+}
+
+TEST(Cow, CloneWithReplacesExactlyOneStatement) {
+  Function f = cow_fixture();
+  const uint64_t h = structural_hash(f);
+  const int target = std::as_const(f).body()->stmts[2]->id;  // c = b
+  Function g = f.clone_with(target, Stmt::assign("c", c(0)));
+  EXPECT_EQ(structural_hash(f), h);
+  EXPECT_NE(structural_hash(g), h);
+  EXPECT_NE(f.str(), g.str());
+  // The loop subtree was not on the path to the replacement: still shared.
+  EXPECT_EQ(std::as_const(f).body()->stmts[1].get(),
+            std::as_const(g).body()->stmts[1].get());
+  EXPECT_THROW(f.clone_with(12345, Stmt::assign("x", c(1))), Error);
+}
+
+TEST(Cow, InstrumentationCountsClonesAndCopies) {
+  Function f = cow_fixture();
+  cow::reset();
+  Function g = f.clone();
+  EXPECT_EQ(cow::clones(), 1u);
+  EXPECT_EQ(cow::node_copies(), 0u);
+  // Replacing the last top-level statement copies only the spine: the
+  // body block itself (the replacement node is fresh, not a copy).
+  ASSERT_TRUE(g.splice(std::as_const(g).body()->stmts[2]->id,
+                       make_vector(Stmt::assign("c", c(5))), false));
+  EXPECT_EQ(cow::node_copies(), 1u);
+  EXPECT_LT(cow::node_copies(), f.stmt_count());
 }
 
 }  // namespace

@@ -297,6 +297,39 @@ TEST(EvalCache, FirstInsertWinsAndKeysDiscriminate) {
   EXPECT_EQ(miss->failure_class, "sched");
 }
 
+TEST(EvalCache, ShardedLargeCacheServesEveryKeyAndHonorsCap) {
+  // Above the lock-striping threshold the cache runs 16 shards. Every
+  // inserted key must still be served, and total size must never exceed
+  // the configured capacity even though eviction is per shard.
+  const size_t cap = 1 << 12;
+  EvalCache cache(cap);
+  EXPECT_EQ(cache.capacity(), cap);
+  for (uint64_t h = 0; h < 1000; ++h) {
+    EvalCache::Entry e;
+    e.ok = true;
+    e.eval.score = double(h);
+    cache.insert(h, Objective::Throughput, 10.0, e);
+  }
+  EXPECT_EQ(cache.size(), 1000u);
+  for (uint64_t h = 0; h < 1000; ++h) {
+    auto hit = cache.lookup(h, Objective::Throughput, 10.0);
+    ASSERT_TRUE(hit.has_value()) << h;
+    EXPECT_DOUBLE_EQ(hit->eval.score, double(h));
+  }
+  EXPECT_FALSE(cache.lookup(1000, Objective::Throughput, 10.0).has_value());
+
+  // Overfill by 3x: per-shard LRU keeps the total within the cap (the
+  // shard caps sum to exactly the capacity) without collapsing to a
+  // near-empty cache.
+  for (uint64_t h = 1000; h < 3 * cap; ++h) {
+    EvalCache::Entry e;
+    e.ok = true;
+    cache.insert(h, Objective::Throughput, 10.0, e);
+  }
+  EXPECT_LE(cache.size(), cap);
+  EXPECT_GE(cache.size(), cap / 2);
+}
+
 TEST(EvalCache, SharedCacheServesRepeatFlows) {
   const workloads::Workload w = workloads::by_name("GCD");
   const auto lib = hlslib::Library::dac98();

@@ -1,5 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <map>
+#include <random>
+
 #include "stg/stg.hpp"
 #include "util/error.hpp"
 
@@ -123,6 +127,113 @@ TEST(Markov, ProbabilitiesFormDistribution) {
     total += p;
   }
   EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+/// Random ergodic chain: a Hamiltonian ring (guarantees one closed
+/// communicating class covering every state) plus extra random edges,
+/// outgoing probabilities normalized per state. The ring-closing edge is
+/// the execution boundary.
+Stg random_ergodic(size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> weight(0.1, 1.0);
+  std::uniform_int_distribution<size_t> pick(0, n - 1);
+  std::uniform_int_distribution<int> fanout(0, 3);
+  Stg stg;
+  for (size_t i = 0; i < n; ++i) stg.add_state("");
+  for (size_t i = 0; i < n; ++i) {
+    std::map<size_t, double> out;
+    out[(i + 1) % n] = weight(rng);
+    const int extra = fanout(rng);
+    for (int k = 0; k < extra; ++k) out[pick(rng)] += weight(rng);
+    double total = 0.0;
+    for (const auto& [to, p] : out) total += p;
+    for (const auto& [to, p] : out)
+      stg.add_edge(static_cast<int>(i), static_cast<int>(to), p / total, "",
+                   /*exec_boundary=*/i == n - 1 && to == 0);
+  }
+  stg.set_entry(0);
+  return stg;
+}
+
+TEST(Markov, SparseMatchesDenseOnRandomErgodicChains) {
+  // 64 states is above the Auto dense cutoff — the production sparse path.
+  for (uint64_t seed : {11u, 42u, 271u, 828u}) {
+    const Stg stg = random_ergodic(64, seed);
+    stg.validate();
+    MarkovOptions dense;
+    dense.solver = MarkovSolver::Dense;
+    MarkovOptions sparse;
+    sparse.solver = MarkovSolver::Sparse;
+    MarkovStats stats;
+    const auto pd = state_probabilities(stg, dense);
+    const auto ps = state_probabilities(stg, sparse, &stats);
+    ASSERT_EQ(pd.size(), ps.size());
+    for (size_t i = 0; i < pd.size(); ++i)
+      EXPECT_NEAR(pd[i], ps[i], 1e-9) << "seed " << seed << " state " << i;
+    EXPECT_TRUE(stats.used_sparse) << seed;
+    EXPECT_FALSE(stats.fell_back) << seed;
+    EXPECT_GT(stats.sweeps, 0) << seed;
+  }
+}
+
+TEST(Markov, SingularChainThrowsWhicheverSolver) {
+  // Two disjoint closed classes: no unique stationary distribution. The
+  // sparse path must report the same error as the dense one.
+  Stg stg;
+  const int s0 = stg.add_state("");
+  const int s1 = stg.add_state("");
+  const int s2 = stg.add_state("");
+  stg.add_edge(s0, s1, 0.5);
+  stg.add_edge(s0, s2, 0.5);
+  stg.add_edge(s1, s1, 1.0, "", true);
+  stg.add_edge(s2, s2, 1.0, "", true);
+  stg.set_entry(s0);
+  for (auto solver : {MarkovSolver::Dense, MarkovSolver::Sparse}) {
+    MarkovOptions opts;
+    opts.solver = solver;
+    try {
+      state_probabilities(stg, opts);
+      FAIL() << "expected singular-chain error";
+    } catch (const Error& e) {
+      EXPECT_STREQ(e.what(),
+                   "state_probabilities: singular chain (STG not ergodic)");
+    }
+  }
+}
+
+TEST(Markov, AutoRespectsDenseCutoff) {
+  const Stg big = random_ergodic(64, 7);
+  MarkovOptions opts;  // Auto, default cutoff 48
+  MarkovStats stats;
+  state_probabilities(big, opts, &stats);
+  EXPECT_TRUE(stats.used_sparse);
+
+  stats = MarkovStats{};
+  opts.dense_cutoff = 128;  // raise the cutoff past the chain size
+  state_probabilities(big, opts, &stats);
+  EXPECT_FALSE(stats.used_sparse);
+
+  stats = MarkovStats{};
+  opts = MarkovOptions{};
+  const Stg small = random_ergodic(8, 7);
+  state_probabilities(small, opts, &stats);
+  EXPECT_FALSE(stats.used_sparse);
+}
+
+TEST(Markov, SparseFallsBackToDenseWhenSweepsExhausted) {
+  const Stg stg = random_ergodic(64, 3);
+  MarkovOptions opts;
+  opts.solver = MarkovSolver::Sparse;
+  opts.max_sweeps = 1;  // cannot converge in one Gauss-Seidel sweep
+  MarkovStats stats;
+  const auto pi = state_probabilities(stg, opts, &stats);
+  EXPECT_TRUE(stats.fell_back);
+  EXPECT_FALSE(stats.used_sparse);
+  // The fallback result is the dense solution itself.
+  MarkovOptions dense;
+  dense.solver = MarkovSolver::Dense;
+  const auto pd = state_probabilities(stg, dense);
+  for (size_t i = 0; i < pd.size(); ++i) EXPECT_DOUBLE_EQ(pd[i], pi[i]);
 }
 
 TEST(Stg, DotContainsStatesAndProbabilities) {
