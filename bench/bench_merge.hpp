@@ -7,10 +7,19 @@
 #include <fstream>
 #include <sstream>
 
+#include "obs/metrics.hpp"
 #include "serve/json.hpp"
 #include "util/error.hpp"
 
 namespace fact::bench {
+
+/// The process-wide metrics registry rendered as a Json payload. Benches
+/// embed it under a "metrics" key so every BENCH_fact.json entry carries
+/// the same counter schema as `factc --metrics-out` and the factd
+/// `metrics` endpoint. Reset the registry at bench start for a clean run.
+inline serve::Json registry_payload() {
+  return serve::Json::parse(obs::to_json(obs::Registry::global().snapshot()));
+}
 
 inline void merge_bench_json(const std::string& path, const std::string& key,
                              serve::Json payload) {

@@ -68,6 +68,7 @@ int main(int argc, char** argv) {
   }
 
   bench::Env env;
+  obs::Registry::global().reset();
   printf("FACT incremental evaluation: sparse solve, fragment reuse, "
          "copy-on-write IR\n");
   bench::rule('=');
@@ -184,8 +185,9 @@ int main(int argc, char** argv) {
   json.key("total_clone_bytes_saved").value(total_bytes_saved);
   json.key("solvers_agree").value(solvers_agree);
   json.end_object();
-  bench::merge_bench_json(out_path, "incremental_eval",
-                          serve::Json::parse(json.str()));
+  serve::Json payload = serve::Json::parse(json.str());
+  payload.set("metrics", bench::registry_payload());
+  bench::merge_bench_json(out_path, "incremental_eval", std::move(payload));
   printf("merged incremental_eval into %s\n", out_path.c_str());
   return solvers_agree ? 0 : 1;
 }

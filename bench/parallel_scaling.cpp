@@ -76,6 +76,7 @@ int main(int argc, char** argv) {
   }
 
   bench::Env env;
+  obs::Registry::global().reset();
   const int hw_threads = WorkerPool::hardware_threads();
   // On a single-core host the parallel leg still runs (the determinism
   // check is as meaningful as ever) but its wall-clock "speedup" is just
@@ -207,8 +208,9 @@ int main(int argc, char** argv) {
   json.key("total_warm_cache_hit_rate").value(total_warm_hit_rate);
   json.key("all_identical").value(all_identical);
   json.end_object();
-  bench::merge_bench_json(out_path, "parallel_scaling",
-                          serve::Json::parse(json.str()));
+  serve::Json payload = serve::Json::parse(json.str());
+  payload.set("metrics", bench::registry_payload());
+  bench::merge_bench_json(out_path, "parallel_scaling", std::move(payload));
   printf("merged parallel_scaling into %s\n", out_path.c_str());
   return all_identical ? 0 : 1;
 }

@@ -116,6 +116,7 @@ int main(int argc, char** argv) {
     }
   }
 
+  fact::obs::Registry::global().reset();
   printf("factd service throughput: closed-loop clients x %d requests each "
          "(%d hardware thread(s))\n",
          per_client, WorkerPool::hardware_threads());
@@ -159,6 +160,7 @@ int main(int argc, char** argv) {
   payload.set("workloads", std::move(names));
   payload.set("clients", std::move(clients_json));
   payload.set("all_ok", all_ok);
+  payload.set("metrics", bench::registry_payload());
   bench::merge_bench_json(out_path, "service_throughput", std::move(payload));
   printf("merged service_throughput into %s\n", out_path.c_str());
   return all_ok ? 0 : 1;

@@ -3,6 +3,8 @@
 #include <atomic>
 #include <sstream>
 
+#include "obs/metrics.hpp"
+
 namespace fact::ir {
 
 StmtPtr Stmt::assign(std::string var, ExprPtr value) {
@@ -163,22 +165,30 @@ void for_each_stmt(StmtPtr& s, const std::function<void(Stmt&)>& fn) {
 
 namespace cow {
 namespace {
-std::atomic<uint64_t> g_clones{0};
-std::atomic<uint64_t> g_node_copies{0};
+// Registry-backed (obs::Registry::global()) so the COW counters show up in
+// every metrics export alongside the cache and search counters; the
+// namespace functions stay as the stable API.
+obs::Counter& clones_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "fact_ir_cow_clones_total", "O(1) shared Function::clone() calls");
+  return c;
+}
+obs::Counter& node_copies_counter() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "fact_ir_cow_node_copies_total",
+      "Stmt nodes actually copied by detach()");
+  return c;
+}
 }  // namespace
 
-uint64_t clones() { return g_clones.load(std::memory_order_relaxed); }
-uint64_t node_copies() {
-  return g_node_copies.load(std::memory_order_relaxed);
-}
+uint64_t clones() { return clones_counter().value(); }
+uint64_t node_copies() { return node_copies_counter().value(); }
 void reset() {
-  g_clones.store(0, std::memory_order_relaxed);
-  g_node_copies.store(0, std::memory_order_relaxed);
+  clones_counter().reset();
+  node_copies_counter().reset();
 }
-void count_clone() { g_clones.fetch_add(1, std::memory_order_relaxed); }
-void count_node_copy() {
-  g_node_copies.fetch_add(1, std::memory_order_relaxed);
-}
+void count_clone() { clones_counter().inc(); }
+void count_node_copy() { node_copies_counter().inc(); }
 }  // namespace cow
 
 void detach(StmtPtr& s) {

@@ -8,6 +8,8 @@
 #include <unordered_set>
 
 #include "ir/hash.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sched/fragment_cache.hpp"
 #include "util/error.hpp"
 #include "util/parallel.hpp"
@@ -23,8 +25,55 @@ struct Member {
   ir::Function fn;
   std::set<int> region;              // region ids incl. transform-created
   std::vector<std::string> applied;  // how we got here
+  std::string via;                   // transform class of the last move
   Evaluation eval;
   uint64_t hash = 0;                 // ir::structural_hash(fn)
+};
+
+/// Process-wide search instrumentation (obs registry). Strictly
+/// write-only from the search path: counters are never read back to make
+/// decisions, so the determinism contract (jobs-invariance, factd ==
+/// factc) is untouched. Function-local statics resolve each metric once.
+struct SearchCounters {
+  obs::Counter& optimize_calls = obs::Registry::global().counter(
+      "fact_engine_optimize_total", "TransformEngine::optimize() calls");
+  obs::Counter& generations = obs::Registry::global().counter(
+      "fact_search_generations_total", "Outer search iterations completed");
+  obs::Counter& candidates = obs::Registry::global().counter(
+      "fact_search_candidates_total",
+      "Candidate transformations entering the gauntlet");
+  obs::Counter& duplicates = obs::Registry::global().counter(
+      "fact_search_duplicates_total",
+      "Candidates dropped by structural dedup");
+  obs::Counter& quarantined = obs::Registry::global().counter(
+      "fact_search_quarantined_total",
+      "Candidates quarantined (apply/verify/equivalence/evaluate)");
+  obs::Counter& nonequivalent = obs::Registry::global().counter(
+      "fact_search_nonequivalent_total",
+      "Candidates failing trace equivalence");
+  obs::Counter& accepted = obs::Registry::global().counter(
+      "fact_search_accepted_total",
+      "Candidates surviving every gate incl. evaluation");
+  obs::Counter& improvements = obs::Registry::global().counter(
+      "fact_search_improvements_total",
+      "Accepted candidates that improved the best score");
+  obs::Counter& eval_requests = obs::Registry::global().counter(
+      "fact_eval_requests_total",
+      "Candidate evaluations requested (cache hits + misses)");
+  obs::Counter& eval_cache_hits = obs::Registry::global().counter(
+      "fact_eval_cache_hits_total",
+      "Evaluation requests served from the memo cache");
+  obs::Counter& eval_cache_misses = obs::Registry::global().counter(
+      "fact_eval_cache_misses_total",
+      "Evaluation requests that ran the full pipeline");
+  obs::Histogram& selected_rank = obs::Registry::global().histogram(
+      "fact_search_selected_rank",
+      {0.5, 1.5, 2.5, 3.5, 5.5, 7.5, 11.5, 15.5, 23.5, 31.5},
+      "Rank of each member selected into In_set (0 = best)");
+  static SearchCounters& get() {
+    static SearchCounters c;
+    return c;
+  }
 };
 
 }  // namespace
@@ -37,6 +86,27 @@ namespace {
 // caps of 0 or 1 entry would evict almost everything.
 constexpr size_t kEvalCacheShards = 16;
 constexpr size_t kShardingThreshold = 4096;
+
+// Raw cache traffic across every EvalCache instance in the process (the
+// per-run EngineResult counters remain the authoritative, jobs-invariant
+// attribution; these standing counters additionally see factd's shared
+// process-wide cache). Incremented outside the shard locks.
+obs::Counter& evalcache_lookups() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "fact_evalcache_lookups_total", "EvalCache lookup() calls");
+  return c;
+}
+obs::Counter& evalcache_hits() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "fact_evalcache_hits_total", "EvalCache lookups that found an entry");
+  return c;
+}
+obs::Counter& evalcache_insertions() {
+  static obs::Counter& c = obs::Registry::global().counter(
+      "fact_evalcache_insertions_total",
+      "EvalCache entries newly inserted (refreshes excluded)");
+  return c;
+}
 }  // namespace
 
 EvalCache::EvalCache(size_t capacity)
@@ -83,29 +153,39 @@ std::optional<EvalCache::Entry> EvalCache::lookup(uint64_t structural_hash,
                                                   double baseline_len) const {
   const Key key = make_key(structural_hash, objective, baseline_len);
   const Shard& s = shards_[shard_index(key)];
-  std::lock_guard<std::mutex> lock(s.mu);
-  const auto it = s.map.find(key);
-  if (it == s.map.end()) return std::nullopt;
-  return it->second.entry;
+  std::optional<Entry> out;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) out = it->second.entry;
+  }
+  evalcache_lookups().inc();
+  if (out) evalcache_hits().inc();
+  return out;
 }
 
 void EvalCache::insert(uint64_t structural_hash, Objective objective,
                        double baseline_len, Entry entry) {
   const Key key = make_key(structural_hash, objective, baseline_len);
   Shard& s = shards_[shard_index(key)];
-  std::lock_guard<std::mutex> lock(s.mu);
-  const auto it = s.map.find(key);
-  if (it != s.map.end()) {
-    // First insertion wins; a re-insert just counts as a use.
-    s.lru.splice(s.lru.begin(), s.lru, it->second.lru);
-    return;
+  bool inserted = false;
+  {
+    std::lock_guard<std::mutex> lock(s.mu);
+    const auto it = s.map.find(key);
+    if (it != s.map.end()) {
+      // First insertion wins; a re-insert just counts as a use.
+      s.lru.splice(s.lru.begin(), s.lru, it->second.lru);
+    } else {
+      s.lru.push_front(key);
+      s.map.emplace(key, Slot{std::move(entry), s.lru.begin()});
+      inserted = true;
+      while (s.map.size() > s.cap) {
+        s.map.erase(s.lru.back());
+        s.lru.pop_back();
+      }
+    }
   }
-  s.lru.push_front(key);
-  s.map.emplace(key, Slot{std::move(entry), s.lru.begin()});
-  while (s.map.size() > s.cap) {
-    s.map.erase(s.lru.back());
-    s.lru.pop_back();
-  }
+  if (inserted) evalcache_insertions().inc();
 }
 
 void EvalCache::touch(uint64_t structural_hash, Objective objective,
@@ -155,11 +235,16 @@ Evaluation TransformEngine::evaluate_impl(
     double baseline_len, sched::FragmentCache* fragments) const {
   // Re-profile the candidate: transformed control structure means new
   // branch sites. The interpreter is cheap relative to scheduling.
+  obs::Span sp_profile = obs::span("profile", "eval");
   const sim::Profile profile = sim::profile_function(fn, trace);
+  sp_profile.finish();
+  obs::Span sp_sched = obs::span("schedule", "eval");
   sched::SchedOptions sopts = sched_opts_;
   sopts.fragment_cache = fragments;
   sched::Scheduler scheduler(lib_, alloc_, sel_, sopts);
   const sched::ScheduleResult sr = scheduler.schedule(fn, profile);
+  sp_sched.arg("fragment_hits", sr.fragment_hits);
+  sp_sched.finish();
 
   // Full validation: the schedule must be structurally sound and legal
   // under the allocation before its metrics are trusted.
@@ -172,6 +257,7 @@ Evaluation TransformEngine::evaluate_impl(
 
   // One stationary solve serves both the throughput metric and the power
   // model (the power estimate reuses pi instead of re-solving the chain).
+  obs::Span sp_est = obs::span("estimate", "eval");
   const std::vector<double> pi =
       stg::state_probabilities(sr.stg, sched_opts_.markov);
   Evaluation ev;
@@ -205,6 +291,12 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
                                        EvalCache* shared_cache) const {
   Rng rng(opts_.seed);
   const auto start_time = std::chrono::steady_clock::now();
+
+  SearchCounters& sc = SearchCounters::get();
+  sc.optimize_calls.inc();
+  obs::Span sp_opt = obs::span("engine.optimize", "opt");
+  sp_opt.arg("objective",
+             objective == Objective::Power ? "power" : "throughput");
 
   EngineResult result;
   result.best = fn.clone();
@@ -267,6 +359,7 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
                         std::string message,
                         const std::vector<std::string>& transforms) {
     result.quarantined++;
+    sc.quarantined.inc();
     result.quarantine_by_class[failure_class]++;
     if (result.quarantine.size() < opts_.quarantine_log_cap) {
       QuarantineRecord rec;
@@ -311,11 +404,14 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   auto consume_entry = [&](Member& m, const EvalCache::Entry& entry,
                            bool hit) {
     result.evaluations++;
+    sc.eval_requests.inc();
     if (hit) {
       result.cache_hits++;
+      sc.eval_cache_hits.inc();
       cache.touch(m.hash, objective, baseline_len);
     } else {
       result.cache_misses++;
+      sc.eval_cache_misses.inc();
       // Fragment traffic is attributed to the evaluations that actually
       // ran the scheduler; memo hits skipped it entirely.
       result.fragment_hits += entry.eval.fragment_hits;
@@ -332,7 +428,10 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
     return true;
   };
 
-  Member root{fn.clone(), region, {}, {}, ir::structural_hash(fn)};
+  Member root;
+  root.fn = fn.clone();
+  root.region = region;
+  root.hash = ir::structural_hash(fn);
   bool root_ok;
   {
     const auto hit = opts_.memoize
@@ -375,6 +474,19 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
     const double k = opts_.k0 + opts_.k_step * outer;
     const double score_before = best_score;
 
+    // Per-generation telemetry: funnel counts accumulate inline in the
+    // serial reductions; the pipeline counters diff the run totals.
+    GenerationTelemetry gen;
+    gen.outer = outer;
+    gen.k = k;
+    const int gen_ev0 = result.evaluations;
+    const int gen_ch0 = result.cache_hits;
+    const int gen_q0 = result.quarantined;
+    const int gen_ne0 = result.rejected_nonequivalent;
+    obs::Span sp_gen = obs::span("generation", "opt");
+    sp_gen.arg("outer", outer);
+    sp_gen.arg("k", k);
+
     for (int move = 0; move < opts_.max_moves && !out_of_budget(); ++move) {
       // Neighborhood generation (serial): every candidate transformation
       // of every population member (statement 6 of Figure 6) goes into one
@@ -413,6 +525,8 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
           const WorkItem& item = work[next_item + w];
           const Member& g = in_set[item.parent];
           Outcome& o = outcomes[w];
+          obs::Span sp_cand = obs::span("candidate", "opt");
+          sp_cand.arg("transform", item.cand.transform);
 
           // Gate 1: the rewrite itself. A transform implementation may
           // throw anything; the candidate is quarantined, never the run.
@@ -483,10 +597,16 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
           if (behavior_set.size() >= opts_.max_neighbors_eval) break;
           if (out_of_budget()) break;
           Outcome& o = outcomes[w];
+          gen.candidates++;
+          sc.candidates.inc();
           // Structural dedup, in submission order (mirrors the serial
           // gate: candidates reaching it insert their hash whether or not
           // they later fail equivalence).
-          if (o.past_dedup && !seen.insert(o.hash).second) continue;
+          if (o.past_dedup && !seen.insert(o.hash).second) {
+            gen.duplicates++;
+            sc.duplicates.inc();
+            continue;
+          }
 
           const WorkItem& item = work[next_item + w];
           const Member& g = in_set[item.parent];
@@ -502,6 +622,7 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
               break;  // unreachable: the seen-insert above filtered it
             case Outcome::Status::NonEquivalent:
               result.rejected_nonequivalent++;
+              sc.nonequivalent.inc();
               quarantine("equivalence", "nonequivalent", std::move(o.message),
                          seq);
               break;
@@ -517,6 +638,7 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
               }
               m.fn = std::move(o.fn);
               m.applied = std::move(seq);
+              m.via = item.cand.transform;
               m.hash = o.hash;
               behavior_set.push_back(std::move(m));
               break;
@@ -538,10 +660,13 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
         std::vector<EvalCache::Entry> entries(n);
         std::vector<char> hits(n, 0);
         pool.parallel_for(n, [&](size_t w) {
+          obs::Span sp_eval = obs::span("evaluate", "opt");
+          sp_eval.arg("transform", behavior_set[w].via);
           const auto hit =
               opts_.memoize
                   ? cache.lookup(behavior_set[w].hash, objective, baseline_len)
                   : std::nullopt;
+          sp_eval.arg("cache_hit", hit.has_value());
           if (hit) {
             entries[w] = std::move(*hit);
             hits[w] = 1;
@@ -554,11 +679,23 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
           Member& m = behavior_set[w];
           if (!consume_entry(m, entries[w], hits[w] != 0)) continue;
           accepted++;
+          gen.accepted++;
+          sc.accepted.inc();
+          result.telemetry.accepted_by_transform[m.via]++;
           if (m.eval.score < best_score) {
+            // Attribute the improvement to the transform class of the move
+            // that produced the new best (skip the sentinel 1e30 scores a
+            // failed root leaves behind — the delta would be meaningless).
+            const double delta =
+                best_score < 1e29 ? best_score - m.eval.score : 0.0;
             best_score = m.eval.score;
             result.best = m.fn.clone();
             result.best_eval = m.eval;
             result.applied = m.applied;
+            gen.improvements++;
+            sc.improvements.inc();
+            result.telemetry.improvements_by_transform[m.via]++;
+            result.telemetry.improvement_by_transform[m.via] += delta;
           }
           evaluated.push_back(std::move(m));
         }
@@ -573,11 +710,20 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
           });
           m.eval.score = static_cast<double>(ops);
           accepted++;
+          gen.accepted++;
+          sc.accepted.inc();
+          result.telemetry.accepted_by_transform[m.via]++;
           if (m.eval.score < best_score) {
+            const double delta =
+                best_score < 1e29 ? best_score - m.eval.score : 0.0;
             best_score = m.eval.score;
             result.best = m.fn.clone();
             result.best_eval = m.eval;
             result.applied = m.applied;
+            gen.improvements++;
+            sc.improvements.inc();
+            result.telemetry.improvements_by_transform[m.via]++;
+            result.telemetry.improvement_by_transform[m.via] += delta;
           }
           evaluated.push_back(std::move(m));
         }
@@ -617,6 +763,8 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
         }
         taken[pick] = true;
         chosen.push_back(pick);
+        result.telemetry.selected_ranks[static_cast<int>(pick)]++;
+        sc.selected_rank.observe(static_cast<double>(pick));
       }
       std::vector<Member> next;
       next.reserve(chosen.size());
@@ -625,6 +773,19 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
     }
 
     result.score_trace.push_back(best_score);
+    gen.evaluations = result.evaluations - gen_ev0;
+    gen.cache_hits = result.cache_hits - gen_ch0;
+    gen.quarantined = result.quarantined - gen_q0;
+    gen.rejected_nonequivalent = result.rejected_nonequivalent - gen_ne0;
+    gen.best_score = best_score;
+    gen.acceptance_rate =
+        gen.candidates > 0
+            ? static_cast<double>(gen.accepted) / gen.candidates
+            : 0.0;
+    result.telemetry.generations.push_back(gen);
+    sc.generations.inc();
+    sp_gen.arg("candidates", gen.candidates);
+    sp_gen.arg("accepted", gen.accepted);
     // Termination: a full generation without improvement (Section 4.2).
     if (best_score >= score_before - 1e-9 && outer > 0) break;
     if (in_set.empty()) break;
@@ -652,6 +813,8 @@ EngineResult TransformEngine::optimize(const ir::Function& fn,
   result.degraded_to_baseline =
       accepted == 0 && (result.quarantined > 0 || !root_ok);
 
+  sp_opt.arg("evaluations", result.evaluations);
+  sp_opt.arg("cache_hits", result.cache_hits);
   return result;
 }
 

@@ -195,6 +195,42 @@ class EvalCache {
   std::vector<Shard> shards_;
 };
 
+/// One outer iteration (generation) of the Figure 6 search, as observed by
+/// the serial reduction. All fields are derived strictly from
+/// submission-order accounting, so they are byte-identical for any jobs
+/// count — safe to print in determinism-checked reports.
+struct GenerationTelemetry {
+  int outer = 0;           // generation index
+  double k = 0.0;          // selection sharpness this generation
+  int candidates = 0;      // work items that entered the gauntlet
+  int duplicates = 0;      // dropped by structural dedup
+  int quarantined = 0;     // failed apply/verify/equivalence/evaluate
+  int rejected_nonequivalent = 0;
+  int evaluations = 0;     // schedule+estimate requests
+  int cache_hits = 0;      // of those, served from the memo cache
+  int accepted = 0;        // survived every gate incl. evaluation
+  int improvements = 0;    // accepted candidates that improved the best
+  double best_score = 0.0;        // best-so-far after this generation
+  double acceptance_rate = 0.0;   // accepted / candidates (0 when none)
+};
+
+/// Search telemetry for one optimize() call: the per-generation funnel
+/// plus distributions that summarize *how* the search moved — which ranks
+/// the Boltzmann selection actually picked, and which transform classes
+/// produced accepted candidates and score improvements.
+struct SearchTelemetry {
+  std::vector<GenerationTelemetry> generations;
+  /// rank -> times a member of that rank was selected into In_set.
+  std::map<int, int> selected_ranks;
+  /// transform class -> accepted candidates whose *last* move was it.
+  std::map<std::string, int> accepted_by_transform;
+  /// transform class -> times it produced a new best score.
+  std::map<std::string, int> improvements_by_transform;
+  /// transform class -> summed score improvement (previous best minus new
+  /// best) attributed to the move that produced each new best.
+  std::map<std::string, double> improvement_by_transform;
+};
+
 struct EngineResult {
   ir::Function best;
   Evaluation best_eval;
@@ -234,6 +270,10 @@ struct EngineResult {
   /// True when not a single candidate survived the gauntlet: the engine
   /// gracefully fell back to the untransformed baseline design.
   bool degraded_to_baseline = false;
+
+  /// Per-generation funnel and selection/attribution distributions
+  /// (jobs-invariant; see SearchTelemetry).
+  SearchTelemetry telemetry;
 };
 
 /// The transformation-application engine of Section 4.2: population search

@@ -1,5 +1,6 @@
 #include "opt/fact.hpp"
 
+#include "obs/trace.hpp"
 #include "util/strfmt.hpp"
 
 namespace fact::opt {
@@ -18,14 +19,20 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
   sim::TraceConfig tc = trace_config;
   if (tc.executions == 0) tc.executions = opts.trace_executions;
   sim::Trace generated;
-  if (!pinned_trace) generated = sim::generate_trace(fn, tc, opts.seed);
+  {
+    obs::Span sp = obs::span("trace_gen", "fact");
+    sp.arg("pinned", pinned_trace != nullptr);
+    if (!pinned_trace) generated = sim::generate_trace(fn, tc, opts.seed);
+  }
   const sim::Trace& trace = pinned_trace ? *pinned_trace : generated;
   const sim::Profile profile = sim::profile_function(fn, trace);
 
   // Step 1: schedule the input behavior — the "base case" every
   // comparison (and the Vdd-scaling equation) refers to.
   sched::Scheduler scheduler(lib, alloc, sel, opts.sched);
+  obs::Span sp_initial = obs::span("initial_schedule", "fact");
   sched::ScheduleResult initial = scheduler.schedule(fn, profile);
+  sp_initial.finish();
   {
     const std::vector<double> pi =
         stg::state_probabilities(initial.stg, opts.sched.markov);
@@ -38,9 +45,12 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
                               result.initial_avg_len));
 
   // Step 2: partition the STG into hot blocks.
+  obs::Span sp_part = obs::span("partition", "fact");
   std::vector<StgBlock> blocks =
       partition_stg(initial.stg, opts.partition_threshold);
   if (blocks.size() > opts.max_blocks) blocks.resize(opts.max_blocks);
+  sp_part.arg("blocks", blocks.size());
+  sp_part.finish();
   result.log.push_back(strfmt("partitioned into %zu block(s)", blocks.size()));
 
   // Steps 3-7 per block: transform with interleaved scheduling. One memo
@@ -53,9 +63,14 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
   EvalCache* shared = cache ? cache : &local_cache;
   ir::Function current = fn.clone();
   for (size_t b = 0; b < blocks.size(); ++b) {
+    obs::Span sp_block = obs::span("block", "fact");
+    sp_block.arg("idx", b);
+    sp_block.arg("weight", blocks[b].weight);
+    sp_block.arg("stmts", blocks[b].stmt_ids.size());
     EngineResult er = engine.optimize(current, trace, opts.objective,
                                       blocks[b].stmt_ids,
                                       result.initial_avg_len, shared);
+    result.block_telemetry.push_back(std::move(er.telemetry));
     result.evaluations += er.evaluations;
     result.cache_hits += er.cache_hits;
     result.cache_misses += er.cache_misses;
@@ -82,8 +97,10 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
   }
 
   // Final schedule + metrics of the winner.
+  obs::Span sp_final = obs::span("final_schedule", "fact");
   const sim::Profile final_profile = sim::profile_function(current, trace);
   result.schedule = scheduler.schedule(current, final_profile);
+  sp_final.finish();
   {
     const std::vector<double> pi =
         stg::state_probabilities(result.schedule.stg, opts.sched.markov);
@@ -140,6 +157,93 @@ std::string render_fact_report(const FactResult& r, Objective objective,
     for (const auto& t : r.applied) out += strfmt("  %s\n", t.c_str());
     out += "\ntransformed behavior:\n" + r.optimized.str();
   }
+  return out;
+}
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20)
+          out += strfmt("\\u%04x", c);
+        else
+          out += c;
+    }
+  }
+  return out;
+}
+
+std::string json_num(double v) { return strfmt("%.6g", v); }
+
+template <typename V, typename Render>
+std::string json_map(const std::map<std::string, V>& m, Render render) {
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : m) {
+    if (!first) out += ",";
+    first = false;
+    out += strfmt("\"%s\":%s", json_escape(k).c_str(), render(v).c_str());
+  }
+  return out + "}";
+}
+
+std::string telemetry_block_json(const SearchTelemetry& t) {
+  std::string out = "{\"generations\":[";
+  for (size_t i = 0; i < t.generations.size(); ++i) {
+    const GenerationTelemetry& g = t.generations[i];
+    if (i) out += ",";
+    out += strfmt(
+        "{\"outer\":%d,\"k\":%s,\"candidates\":%d,\"duplicates\":%d,"
+        "\"quarantined\":%d,\"nonequivalent\":%d,\"evaluations\":%d,"
+        "\"cache_hits\":%d,\"accepted\":%d,\"improvements\":%d,"
+        "\"best_score\":%s,\"acceptance_rate\":%s}",
+        g.outer, json_num(g.k).c_str(), g.candidates, g.duplicates,
+        g.quarantined, g.rejected_nonequivalent, g.evaluations, g.cache_hits,
+        g.accepted, g.improvements, json_num(g.best_score).c_str(),
+        json_num(g.acceptance_rate).c_str());
+  }
+  out += "],\"selected_ranks\":{";
+  bool first = true;
+  for (const auto& [rank, n] : t.selected_ranks) {
+    if (!first) out += ",";
+    first = false;
+    out += strfmt("\"%d\":%d", rank, n);
+  }
+  out += "},\"accepted_by_transform\":";
+  out += json_map(t.accepted_by_transform,
+                  [](int n) { return strfmt("%d", n); });
+  out += ",\"improvements_by_transform\":";
+  out += json_map(t.improvements_by_transform,
+                  [](int n) { return strfmt("%d", n); });
+  out += ",\"improvement_by_transform\":";
+  out += json_map(t.improvement_by_transform,
+                  [](double v) { return json_num(v); });
+  return out + "}";
+}
+
+}  // namespace
+
+std::string telemetry_json(const FactResult& r) {
+  std::string out = "{\"blocks\":[";
+  for (size_t b = 0; b < r.block_telemetry.size(); ++b) {
+    if (b) out += ",";
+    out += telemetry_block_json(r.block_telemetry[b]);
+  }
+  out += strfmt(
+      "],\"evaluations\":%d,\"cache_hits\":%d,\"cache_misses\":%d,"
+      "\"fragment_hits\":%d,\"fragment_misses\":%d,\"quarantined\":%d,"
+      "\"blocks_degraded\":%d,\"truncated\":%s}",
+      r.evaluations, r.cache_hits, r.cache_misses, r.fragment_hits,
+      r.fragment_misses, r.quarantined, r.blocks_degraded,
+      r.truncated ? "true" : "false");
   return out;
 }
 

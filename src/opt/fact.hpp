@@ -49,6 +49,10 @@ struct FactResult {
   std::map<std::string, int> quarantine_by_class;
   int blocks_degraded = 0;            // blocks that fell back to baseline
   bool truncated = false;             // some block hit the deadline budget
+
+  /// Search telemetry of each per-block engine run, in block order
+  /// (jobs-invariant; see SearchTelemetry). Rendered by telemetry_json().
+  std::vector<SearchTelemetry> block_telemetry;
 };
 
 /// Runs the full FACT flow on a behavior:
@@ -82,5 +86,12 @@ FactResult run_fact(const ir::Function& fn, const hlslib::Library& lib,
 /// byte-for-byte against `factc` batch output.
 std::string render_fact_report(const FactResult& r, Objective objective,
                                bool quiet);
+
+/// Renders the per-block search telemetry plus the flow-level cache
+/// counters as a stable JSON document (insertion-ordered keys, %.6g
+/// doubles). Deterministic for a given FactResult — safe to byte-diff
+/// across factc/factd and jobs counts. `factc --metrics-out` embeds it
+/// under the "search" key.
+std::string telemetry_json(const FactResult& r);
 
 }  // namespace fact::opt

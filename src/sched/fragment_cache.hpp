@@ -6,6 +6,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "obs/metrics.hpp"
 #include "sched/dfg.hpp"
 
 namespace fact::sched {
@@ -58,11 +59,19 @@ class FragmentCache {
   explicit FragmentCache(size_t capacity = 1 << 16)
       : capacity_(capacity) {}
 
-  /// nullptr on miss; the resident immutable entry on hit.
+  /// nullptr on miss; the resident immutable entry on hit. Traffic is
+  /// mirrored into the process-wide metrics registry (write-only — the
+  /// counters never influence caching, so determinism is untouched).
   std::shared_ptr<const Entry> lookup(uint64_t key) const {
-    std::lock_guard<std::mutex> lock(mu_);
-    const auto it = map_.find(key);
-    return it == map_.end() ? nullptr : it->second;
+    std::shared_ptr<const Entry> hit;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      const auto it = map_.find(key);
+      if (it != map_.end()) hit = it->second;
+    }
+    if (hit) hits_counter().inc();
+    else misses_counter().inc();
+    return hit;
   }
 
   /// First insertion wins (concurrent computes of one key produce
@@ -85,6 +94,19 @@ class FragmentCache {
   }
 
  private:
+  static obs::Counter& hits_counter() {
+    static obs::Counter& c = obs::Registry::global().counter(
+        "fact_fragment_cache_hits_total",
+        "Region schedule fragments reused instead of rescheduled");
+    return c;
+  }
+  static obs::Counter& misses_counter() {
+    static obs::Counter& c = obs::Registry::global().counter(
+        "fact_fragment_cache_misses_total",
+        "Region schedule fragments computed (DFG build + list schedule)");
+    return c;
+  }
+
   const size_t capacity_;
   mutable std::mutex mu_;
   std::unordered_map<uint64_t, std::shared_ptr<const Entry>> map_;

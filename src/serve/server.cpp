@@ -167,6 +167,20 @@ void Server::serve_connection(std::shared_ptr<Connection> conn) {
       Json resp = service_.status_response();
       if (const Json* id = req.get("id")) resp.set("id", *id);
       enqueue_immediate(req, std::move(resp));
+    } else if (type == "stats") {
+      Json resp = service_.stats_response();
+      if (const Json* id = req.get("id")) resp.set("id", *id);
+      enqueue_immediate(req, std::move(resp));
+    } else if (type == "metrics") {
+      // Prometheus text rides inside the normal JSON line protocol; the
+      // client (factcli --metrics) unwraps `body` for scraping.
+      Json resp = Json::object();
+      resp.set("ok", true);
+      if (const Json* id = req.get("id")) resp.set("id", *id);
+      resp.set("type", "metrics");
+      resp.set("content_type", "text/plain; version=0.0.4");
+      resp.set("body", service_.metrics_text());
+      enqueue_immediate(req, std::move(resp));
     } else if (type == "cancel") {
       Json resp = Json::object();
       const Json* target = req.get("target");

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "lang/parser.hpp"
+#include "obs/metrics.hpp"
 #include "opt/baselines.hpp"
 #include "opt/fact.hpp"
 #include "util/error.hpp"
@@ -37,6 +38,26 @@ Json error_response(const Json& req, const std::string& msg) {
   r.set("error", msg);
   return r;
 }
+
+/// Registry mirror of the service's lifecycle counters (the mutex-guarded
+/// fields behind status/stats remain authoritative; the registry copies
+/// feed the `metrics` endpoint and process-wide exports). Write-only.
+struct ServeCounters {
+  obs::Counter& accepted = obs::Registry::global().counter(
+      "fact_serve_accepted_total", "Jobs admitted to the queue");
+  obs::Counter& completed = obs::Registry::global().counter(
+      "fact_serve_completed_total", "Jobs finished ok");
+  obs::Counter& failed = obs::Registry::global().counter(
+      "fact_serve_failed_total", "Jobs finished with an error");
+  obs::Counter& cancelled = obs::Registry::global().counter(
+      "fact_serve_cancelled_total", "Jobs cancelled by the client");
+  obs::Counter& rejected = obs::Registry::global().counter(
+      "fact_serve_rejected_total", "Jobs bounced on a full queue");
+  static ServeCounters& get() {
+    static ServeCounters c;
+    return c;
+  }
+};
 
 }  // namespace
 
@@ -81,6 +102,9 @@ struct Service::Session {
   hlslib::Allocation alloc;
   sim::TraceConfig trace_config;
 
+  /// Requests resolved to this session (stats_response inventory).
+  std::atomic<uint64_t> requests{0};
+
   std::mutex trace_mu;
   uint64_t trace_seed = 0;
   size_t trace_execs = 0;
@@ -98,6 +122,11 @@ struct Service::Session {
       trace_execs = tc.executions;
     }
     return trace;
+  }
+
+  bool trace_pinned() {
+    std::lock_guard<std::mutex> lk(trace_mu);
+    return trace != nullptr;
   }
 };
 
@@ -138,6 +167,7 @@ void Service::stop() {
   }
   for (auto& s : leftover) {
     s->complete(error_response(s->request(), "server shutting down"));
+    ServeCounters::get().failed.inc();
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++failed_;
   }
@@ -158,6 +188,8 @@ Ticket Service::submit(Json request) {
       if (rejected) ++rejected_;
       else ++failed_;
     }
+    if (rejected) ServeCounters::get().rejected.inc();
+    else ServeCounters::get().failed.inc();
     state->complete(error_response(req, msg));
     return Ticket(state);
   };
@@ -196,6 +228,7 @@ Ticket Service::submit(Json request) {
     std::lock_guard<std::mutex> lk(stats_mu_);
     ++accepted_;
   }
+  ServeCounters::get().accepted.inc();
   cv_work_.notify_one();
   return Ticket(std::move(state));
 }
@@ -276,6 +309,10 @@ void Service::run_job(JobState& job) {
     else ++failed_;
     record_latency(wall);
   }
+  ServeCounters& scnt = ServeCounters::get();
+  if (job.cancel_requested()) scnt.cancelled.inc();
+  else if (resp.get_bool("ok")) scnt.completed.inc();
+  else scnt.failed.inc();
   {
     std::lock_guard<std::mutex> lk(jobs_mu_);
     live_jobs_.erase(job.ticket());
@@ -306,11 +343,13 @@ Service::SessionPtr Service::resolve_session(const Json& req) {
     if (it == sessions_.end())
       throw Error("unknown session '" + name +
                   "' (supply 'benchmark' or 'source' to create it)");
+    it->second->requests.fetch_add(1, std::memory_order_relaxed);
     return it->second;
   }
   // Behavior plus a session name: (re)create and remember. Parse outside
   // the registry lock; last writer wins on a name race.
   SessionPtr ses = build_session(req, name);
+  ses->requests.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(sessions_mu_);
   sessions_[name] = ses;
   return ses;
@@ -461,6 +500,7 @@ size_t Service::session_count() const {
 
 StatsSnapshot Service::stats() const {
   StatsSnapshot s;
+  s.uptime_ms = ms_since(start_);
   s.sessions = session_count();
   {
     std::lock_guard<std::mutex> lk(mu_);
@@ -528,6 +568,51 @@ Json Service::status_response() const {
   resp.set("type", "status");
   resp.set("stats", std::move(stats));
   return resp;
+}
+
+Json Service::stats_response() const {
+  const StatsSnapshot s = stats();
+  Json resp = Json::object();
+  resp.set("ok", true);
+  resp.set("type", "stats");
+  resp.set("uptime_ms", s.uptime_ms);
+  resp.set("sessions", s.sessions);
+  resp.set("queue_depth", s.queue_depth);
+  resp.set("in_flight", s.in_flight);
+  resp.set("cache_entries", s.cache_entries);
+  resp.set("cache_cap", s.cache_cap);
+  Json list = Json::array();
+  {
+    std::lock_guard<std::mutex> lk(sessions_mu_);
+    for (const auto& [name, ses] : sessions_) {
+      Json e = Json::object();
+      e.set("name", name);
+      e.set("requests",
+            ses->requests.load(std::memory_order_relaxed));
+      e.set("trace_pinned", ses->trace_pinned());
+      list.push_back(std::move(e));
+    }
+  }
+  resp.set("session_list", std::move(list));
+  return resp;
+}
+
+std::string Service::metrics_text() const {
+  // Point-in-time service state rides along as gauges; the counters are
+  // already live in the registry (mirrored at their increment sites).
+  obs::Registry& reg = obs::Registry::global();
+  const StatsSnapshot s = stats();
+  reg.gauge("fact_serve_sessions", "Named sessions resident")
+      .set(static_cast<int64_t>(s.sessions));
+  reg.gauge("fact_serve_queue_depth", "Jobs waiting in the queue")
+      .set(static_cast<int64_t>(s.queue_depth));
+  reg.gauge("fact_serve_in_flight", "Jobs currently executing")
+      .set(static_cast<int64_t>(s.in_flight));
+  reg.gauge("fact_serve_cache_entries", "Shared EvalCache entries resident")
+      .set(static_cast<int64_t>(s.cache_entries));
+  reg.gauge("fact_serve_uptime_ms", "Milliseconds since service start")
+      .set(static_cast<int64_t>(s.uptime_ms));
+  return obs::to_prometheus(reg.snapshot());
 }
 
 }  // namespace fact::serve

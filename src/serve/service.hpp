@@ -41,6 +41,7 @@ struct ServiceOptions {
 
 /// Point-in-time service counters, exposed by `status` responses.
 struct StatsSnapshot {
+  double uptime_ms = 0.0;  // since Service construction
   size_t sessions = 0;
   size_t queue_depth = 0;
   size_t in_flight = 0;
@@ -113,6 +114,15 @@ class Service {
   StatsSnapshot stats() const;
   /// The `status` response body (stats rendered as JSON).
   Json status_response() const;
+  /// The `stats` response body: uptime, queue/cache occupancy, and the
+  /// per-session inventory (name, request count, trace pinned) — the
+  /// lightweight operational view, vs. status's counter dump.
+  Json stats_response() const;
+  /// Prometheus text exposition (format 0.0.4) of the process-wide obs
+  /// registry, with the service gauges (sessions, queue depth, in-flight,
+  /// cache entries, uptime) refreshed first. Served by the factd
+  /// `metrics` request for scraping.
+  std::string metrics_text() const;
 
   /// Fails all queued jobs, cancels in-flight ones, and joins the
   /// dispatcher. Idempotent; called by the destructor.
@@ -139,6 +149,8 @@ class Service {
   void record_latency(double ms);
 
   ServiceOptions opts_;
+  const std::chrono::steady_clock::time_point start_ =
+      std::chrono::steady_clock::now();
   hlslib::Library lib_;
   hlslib::FuSelection sel_;
   WorkerPool pool_;

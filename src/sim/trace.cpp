@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/metrics.hpp"
+
 namespace fact::sim {
 
 namespace {
@@ -49,6 +51,9 @@ const InputSpec& spec_or_default(const std::map<std::string, InputSpec>& m,
 
 Trace generate_trace(const ir::Function& fn, const TraceConfig& config,
                      uint64_t seed) {
+  static obs::Counter& traces = obs::Registry::global().counter(
+      "fact_sim_traces_generated_total", "Stimulus traces generated");
+  traces.inc();
   Rng rng(seed);
   Trace trace;
   trace.reserve(config.executions);
@@ -81,6 +86,9 @@ Trace generate_trace(const ir::Function& fn, const TraceConfig& config,
 }
 
 Profile profile_function(const ir::Function& fn, const Trace& trace) {
+  static obs::Counter& profiles = obs::Registry::global().counter(
+      "fact_sim_profiles_total", "Function profiling passes over a trace");
+  profiles.inc();
   Interpreter interp(fn);
   Profile profile;
   for (const auto& stimulus : trace) {

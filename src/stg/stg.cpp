@@ -3,6 +3,7 @@
 #include <cmath>
 #include <queue>
 
+#include "obs/metrics.hpp"
 #include "util/dot.hpp"
 #include "util/error.hpp"
 #include "util/strfmt.hpp"
@@ -319,10 +320,36 @@ std::vector<double> state_probabilities(const Stg& stg) {
   return state_probabilities(stg, MarkovOptions{});
 }
 
+namespace {
+
+/// Registry-backed solver accounting (absorbs the per-call MarkovStats
+/// into standing, process-wide instrumentation). Write-only: never read
+/// on the solve path.
+struct MarkovCounters {
+  obs::Counter& solves = obs::Registry::global().counter(
+      "fact_markov_solves_total", "Stationary-distribution solves");
+  obs::Counter& sparse = obs::Registry::global().counter(
+      "fact_markov_sparse_solves_total",
+      "Solves served by sparse Gauss-Seidel");
+  obs::Counter& sweeps = obs::Registry::global().counter(
+      "fact_markov_sweeps_total", "Gauss-Seidel sweeps performed");
+  obs::Counter& fallbacks = obs::Registry::global().counter(
+      "fact_markov_dense_fallbacks_total",
+      "Sparse solves that diverged and fell back to dense");
+  static MarkovCounters& get() {
+    static MarkovCounters c;
+    return c;
+  }
+};
+
+}  // namespace
+
 std::vector<double> state_probabilities(const Stg& stg,
                                         const MarkovOptions& opts,
                                         MarkovStats* stats) {
   if (stats) *stats = MarkovStats{};
+  MarkovCounters& mc = MarkovCounters::get();
+  mc.solves.inc();
   const size_t n = stg.num_states();
   const bool dense = opts.solver == MarkovSolver::Dense ||
                      (opts.solver == MarkovSolver::Auto &&
@@ -334,12 +361,17 @@ std::vector<double> state_probabilities(const Stg& stg,
   // contract identical to the dense solver's.
   if (!has_unique_closed_class(stg))
     throw Error("state_probabilities: singular chain (STG not ergodic)");
-  std::vector<double> pi = sparse_probabilities(stg, opts, stats);
+  MarkovStats local;
+  MarkovStats* st = stats ? stats : &local;
+  std::vector<double> pi = sparse_probabilities(stg, opts, st);
+  mc.sweeps.inc(static_cast<uint64_t>(st->sweeps));
   if (pi.empty()) {
-    if (stats) stats->fell_back = true;
+    st->fell_back = true;
+    mc.fallbacks.inc();
     return dense_probabilities(stg);
   }
-  if (stats) stats->used_sparse = true;
+  st->used_sparse = true;
+  mc.sparse.inc();
   return pi;
 }
 

@@ -6,7 +6,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <set>
 #include <sstream>
+
+#include "serve/json.hpp"
 
 namespace {
 
@@ -116,6 +119,86 @@ TEST(Cli, ValidateFlag) {
   const CliResult bad = run_cli("--benchmark GCD --validate bogus");
   EXPECT_EQ(bad.exit_code, 1) << bad.output;
   EXPECT_NE(bad.output.find("bad validation level"), std::string::npos);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream f(path);
+  std::stringstream ss;
+  ss << f.rdbuf();
+  return ss.str();
+}
+
+TEST(Cli, TraceOutWritesChromeTraceJson) {
+  using fact::serve::Json;
+  const std::string tpath = ::testing::TempDir() + "cli_trace.json";
+  const CliResult r = run_cli("--benchmark GCD --quiet --trace-out " + tpath);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const std::string text = slurp(tpath);
+  ASSERT_FALSE(text.empty());
+  const Json trace = Json::parse(text);
+  const Json* events = trace.get("traceEvents");
+  ASSERT_TRUE(events != nullptr);
+  ASSERT_GT(events->size(), 0u);
+  std::set<std::string> names;
+  for (size_t i = 0; i < events->size(); ++i) {
+    const Json& e = events->at(i);
+    EXPECT_EQ(e.get_string("ph"), "X") << e.dump();
+    EXPECT_GE(e.get_double("ts"), 0.0);
+    EXPECT_GE(e.get_double("dur"), 0.0);
+    EXPECT_EQ(e.get_int("pid"), 1);
+    names.insert(e.get_string("name"));
+  }
+  // The flow's phase spans plus the engine's per-candidate spans.
+  for (const char* want :
+       {"trace_gen", "initial_schedule", "partition", "block",
+        "final_schedule", "engine.optimize", "generation", "candidate",
+        "evaluate", "schedule"})
+    EXPECT_TRUE(names.count(want)) << "missing span " << want;
+}
+
+TEST(Cli, MetricsOutWritesRegistryAndSearchTelemetry) {
+  using fact::serve::Json;
+  const std::string mpath = ::testing::TempDir() + "cli_metrics.json";
+  const CliResult r =
+      run_cli("--benchmark GCD --quiet --metrics-out " + mpath);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  const Json doc = Json::parse(slurp(mpath));
+
+  const Json* reg = doc.get("registry");
+  ASSERT_TRUE(reg != nullptr);
+  EXPECT_GT(reg->get_int("fact_engine_optimize_total"), 0);
+  EXPECT_GT(reg->get_int("fact_eval_requests_total"), 0);
+  EXPECT_GT(reg->get_int("fact_search_generations_total"), 0);
+  EXPECT_GT(reg->get_int("fact_search_candidates_total"), 0);
+
+  const Json* search = doc.get("search");
+  ASSERT_TRUE(search != nullptr && search->is_object()) << doc.dump();
+  EXPECT_GT(search->get_int("evaluations"), 0);
+  const Json* blocks = search->get("blocks");
+  ASSERT_TRUE(blocks != nullptr);
+  ASSERT_GT(blocks->size(), 0u);
+  const Json* gens = blocks->at(0).get("generations");
+  ASSERT_TRUE(gens != nullptr);
+  ASSERT_GT(gens->size(), 0u);
+  const Json& g0 = gens->at(0);
+  EXPECT_GT(g0.get_int("candidates"), 0);
+  EXPECT_GE(g0.get_double("acceptance_rate"), 0.0);
+  EXPECT_LE(g0.get_double("acceptance_rate"), 1.0);
+  EXPECT_TRUE(blocks->at(0).get("selected_ranks") != nullptr);
+  EXPECT_TRUE(blocks->at(0).get("accepted_by_transform") != nullptr);
+}
+
+TEST(Cli, TraceAndMetricsFlagsDoNotChangeStdout) {
+  // Instrumentation is observe-only: the report a user sees must be
+  // byte-identical with and without --trace-out/--metrics-out.
+  const std::string tpath = ::testing::TempDir() + "cli_trace_det.json";
+  const std::string mpath = ::testing::TempDir() + "cli_metrics_det.json";
+  const CliResult plain = run_cli("--benchmark GCD");
+  const CliResult instrumented = run_cli("--benchmark GCD --trace-out " +
+                                         tpath + " --metrics-out " + mpath);
+  EXPECT_EQ(plain.exit_code, 0) << plain.output;
+  EXPECT_EQ(instrumented.exit_code, 0) << instrumented.output;
+  EXPECT_EQ(plain.output, instrumented.output);
 }
 
 TEST(Cli, DeadlineReportsBestSoFar) {

@@ -474,4 +474,104 @@ TEST(Server, CancelTargetsEarlierRequestOnConnection) {
   runner.join();
 }
 
+// ---- stats & metrics -----------------------------------------------------
+
+/// The sample value on a `name value` exposition line, or -1 if absent.
+long long prom_value(const std::string& text, const std::string& name) {
+  size_t pos = 0;
+  while ((pos = text.find(name + " ", pos)) != std::string::npos) {
+    if (pos == 0 || text[pos - 1] == '\n')
+      return std::stoll(text.substr(pos + name.size() + 1));
+    ++pos;
+  }
+  return -1;
+}
+
+TEST(Service, StatsResponseInventoriesSessions) {
+  fact::serve::Service svc;
+  Json req = optimize_request("GCD", 1);
+  req.set("session", "obs-test");
+  ASSERT_TRUE(svc.submit(req).wait().get_bool("ok"));
+
+  const Json resp = svc.stats_response();
+  EXPECT_TRUE(resp.get_bool("ok"));
+  EXPECT_EQ(resp.get_string("type"), "stats");
+  EXPECT_GE(resp.get_double("uptime_ms"), 0.0);
+  EXPECT_EQ(resp.get_int("sessions"), 1);
+  // wait() returns when the ticket completes, which can be a beat before
+  // the dispatcher retires the job from its in-flight accounting — so
+  // bound these rather than pinning them to zero.
+  EXPECT_LE(resp.get_int("queue_depth"), 1);
+  EXPECT_LE(resp.get_int("in_flight"), 1);
+  EXPECT_GT(resp.get_int("cache_entries"), 0);
+  EXPECT_GE(resp.get_int("cache_cap"), resp.get_int("cache_entries"));
+  const Json* list = resp.get("session_list");
+  ASSERT_TRUE(list != nullptr);
+  ASSERT_EQ(list->size(), 1u);
+  EXPECT_EQ(list->at(0).get_string("name"), "obs-test");
+  EXPECT_EQ(list->at(0).get_int("requests"), 1);
+  EXPECT_TRUE(list->at(0).get_bool("trace_pinned"));
+}
+
+TEST(Service, MetricsTextIsPrometheusWithLiveCounters) {
+  fact::serve::Service svc;
+  ASSERT_TRUE(svc.submit(optimize_request("GCD", 1)).wait().get_bool("ok"));
+
+  const std::string text = svc.metrics_text();
+  EXPECT_NE(text.find("# TYPE fact_serve_completed_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE fact_serve_sessions gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE fact_eval_requests_total counter"),
+            std::string::npos);
+  // Counters are process-global, so exact values depend on test order —
+  // but this service just completed a job, so they cannot be zero.
+  EXPECT_GE(prom_value(text, "fact_serve_completed_total"), 1);
+  EXPECT_GE(prom_value(text, "fact_eval_requests_total"), 1);
+  EXPECT_GE(prom_value(text, "fact_search_generations_total"), 1);
+  EXPECT_EQ(prom_value(text, "fact_serve_queue_depth"), 0);
+}
+
+TEST(Server, StatsAndMetricsRequestsOverSocket) {
+  const std::string path = test_socket_path("stats");
+  fact::serve::Service svc;
+  fact::serve::ServerOptions so;
+  so.unix_path = path;
+  fact::serve::Server server(svc, so);
+  std::thread runner([&] { server.run(); });
+
+  const int fd = fact::serve::connect_unix(path);
+  fact::serve::LineReader reader(fd);
+  std::string line;
+  std::vector<Json> resps;
+  // stats/metrics responses are computed the moment the request line is
+  // read (they only *deliver* in order), so consume the optimize response
+  // before asking for counters that job must have bumped.
+  fact::serve::send_line(fd, optimize_request("GCD", 1).dump());
+  ASSERT_TRUE(reader.next(line));
+  resps.push_back(Json::parse(line));
+  fact::serve::send_line(fd, "{\"type\":\"stats\",\"id\":2}");
+  fact::serve::send_line(fd, "{\"type\":\"metrics\",\"id\":3}");
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE(reader.next(line));
+    resps.push_back(Json::parse(line));
+  }
+  EXPECT_TRUE(resps[0].get_bool("ok")) << resps[0].dump();
+  EXPECT_EQ(resps[1].get_int("id"), 2);
+  EXPECT_EQ(resps[1].get_string("type"), "stats");
+  EXPECT_GE(resps[1].get_double("uptime_ms"), 0.0);
+  EXPECT_EQ(resps[2].get_int("id"), 3);
+  EXPECT_EQ(resps[2].get_string("type"), "metrics");
+  EXPECT_EQ(resps[2].get_string("content_type"),
+            "text/plain; version=0.0.4");
+  const std::string body = resps[2].get_string("body");
+  EXPECT_NE(body.find("# TYPE fact_serve_completed_total counter"),
+            std::string::npos);
+  EXPECT_GE(prom_value(body, "fact_serve_completed_total"), 1);
+
+  fact::serve::shutdown_fd(fd);
+  fact::serve::close_fd(fd);
+  server.stop();
+  runner.join();
+}
+
 }  // namespace

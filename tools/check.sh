@@ -51,7 +51,7 @@ if [ "$cmake_flag" = thread ]; then
   # counts; parallel_scaling's jobs>1 leg runs real worker threads.)
   TSAN_OPTIONS="halt_on_error=1${TSAN_OPTIONS:+:$TSAN_OPTIONS}" \
     ctest --test-dir "$build_dir" --output-on-failure \
-      -R 'WorkerPool|JobsInvariant|JobsDeterminism|EvalCache|Engine\.EnginesSharing|Service\.|Server\.|FactdE2E|bench_smoke'
+      -R 'WorkerPool|JobsInvariant|JobsDeterminism|EvalCache|Engine\.EnginesSharing|Service\.|Server\.|FactdE2E|bench_smoke|Obs\.'
 
   # Server integration under TSan: a sanitized factd on a unix socket,
   # hammered by concurrent factcli clients, must exit cleanly (TSan makes
@@ -79,9 +79,26 @@ if [ "$cmake_flag" = thread ]; then
       --session "tsan-$w" --quiet >/dev/null
   done
   "$build_dir/tools/factcli" --unix "$sock" --status >/dev/null
+  # The observability endpoints under the same contention: the stats
+  # inventory and a Prometheus scrape that must carry live counters.
+  "$build_dir/tools/factcli" --unix "$sock" --stats >/dev/null
+  "$build_dir/tools/factcli" --unix "$sock" --metrics \
+    | grep -q '^fact_serve_completed_total [1-9]' \
+    || { echo "check.sh: factd metrics scrape missing live counters" >&2; exit 1; }
   "$build_dir/tools/factcli" --unix "$sock" --shutdown >/dev/null
   wait "$factd_pid"
   rm -f "$sock"
+
+  # Span tracing under TSan: a traced sanitized run with parallel
+  # evaluation must produce well-formed Chrome trace JSON.
+  trace_json="$build_dir/factc-tsan-trace.json"
+  "$build_dir/tools/factc" --benchmark GCD --jobs 4 --quiet \
+    --trace-out "$trace_json" >/dev/null
+  grep -q '^{"traceEvents":\[{' "$trace_json" \
+    || { echo "check.sh: factc --trace-out produced malformed trace JSON" >&2; exit 1; }
+  grep -q '"name":"engine.optimize"' "$trace_json" \
+    || { echo "check.sh: trace JSON is missing the engine.optimize span" >&2; exit 1; }
+  rm -f "$trace_json"
 fi
 
 echo "check.sh: sanitized suite ($cmake_flag) passed"

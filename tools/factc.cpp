@@ -18,17 +18,25 @@
 //   --emit-verilog <file>          write the optimized design's Verilog
 //   --emit-stg <file>              write the optimized design's STG (DOT)
 //   --emit-cdfg <file>             write the behavior's CDFG (DOT)
+//   --trace-out <file>             write a Chrome trace-event JSON of the
+//                                  run's phases/blocks/candidates (open in
+//                                  Perfetto or chrome://tracing)
+//   --metrics-out <file>           write the metrics-registry snapshot and
+//                                  search telemetry as JSON
 //   --binding                      print the datapath binding report
 //   --quiet                        only the summary line
 
 #include <cstdio>
 #include <cstring>
 #include <fstream>
+#include <optional>
 #include <sstream>
 
 #include "bind/binding.hpp"
 #include "cdfg/cdfg.hpp"
 #include "lang/parser.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "opt/baselines.hpp"
 #include "opt/fact.hpp"
 #include "rtl/verilog.hpp"
@@ -48,6 +56,7 @@ struct Args {
   std::string alloc_spec;
   std::string validate = "fast";
   std::string emit_verilog, emit_stg, emit_cdfg;
+  std::string trace_out, metrics_out;
   double clock_ns = 25.0;
   double deadline_ms = 0.0;
   int jobs = 0;  // 0 = hardware concurrency
@@ -65,7 +74,7 @@ struct Args {
           "  [--alloc a1=2,sb1=1,...] [--clock <ns>] [--seed <n>] [--no-fuse]\n"
           "  [--validate off|fast|full] [--deadline-ms <n>] [--jobs <n>]\n"
           "  [--emit-verilog <f>] [--emit-stg <f>] [--emit-cdfg <f>]\n"
-          "  [--binding] [--quiet]\n");
+          "  [--trace-out <f>] [--metrics-out <f>] [--binding] [--quiet]\n");
   exit(2);
 }
 
@@ -124,6 +133,8 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--emit-verilog") a.emit_verilog = next();
     else if (arg == "--emit-stg") a.emit_stg = next();
     else if (arg == "--emit-cdfg") a.emit_cdfg = next();
+    else if (arg == "--trace-out") a.trace_out = next();
+    else if (arg == "--metrics-out") a.metrics_out = next();
     else if (arg == "--binding") a.binding = true;
     else if (arg == "--quiet") a.quiet = true;
     else if (arg == "--help" || arg == "-h") usage();
@@ -148,6 +159,17 @@ void write_file(const std::string& path, const std::string& text) {
 int main(int argc, char** argv) {
   try {
     const Args args = parse_args(argc, argv);
+
+    // Span tracing: installed before any work runs so every phase is
+    // covered. The tracer only records — nothing on the optimization path
+    // reads it back — so stdout is byte-identical with tracing on or off
+    // (asserted by the determinism test). Written silently at exit for
+    // the same reason.
+    std::optional<obs::Tracer> tracer;
+    if (!args.trace_out.empty()) {
+      tracer.emplace();
+      obs::set_tracer(&*tracer);
+    }
 
     // Load the behavior + context.
     const hlslib::Library lib = hlslib::Library::dac98();
@@ -180,6 +202,7 @@ int main(int argc, char** argv) {
       write_file(args.emit_cdfg, cdfg::Cdfg::from_function(fn).dot(fn.name()));
 
     const bool all = args.method == "all";
+    std::string search_json;  // telemetry_json of the FACT run, if any
     auto line = [&](const char* tag, double len, double power, size_t n) {
       printf("%-7s avg length %10.2f cycles | throughput %8.3f (x1000/cyc) "
              "| power %8.3f | %zu transform(s)\n",
@@ -211,6 +234,7 @@ int main(int argc, char** argv) {
       const auto xf = xform::TransformLibrary::standard();
       const opt::FactResult r =
           opt::run_fact(fn, lib, alloc, sel, traces, xf, fo);
+      search_json = opt::telemetry_json(r);
       // Rendered by the same function factd uses for optimize responses,
       // which is what makes server output byte-identical to batch output.
       fputs(opt::render_fact_report(r, fo.objective, args.quiet).c_str(),
@@ -230,6 +254,22 @@ int main(int argc, char** argv) {
                   "for RTL-exact output)\n");
         write_file(args.emit_verilog, rtl::emit_verilog(fn, r.schedule.stg));
       }
+    }
+
+    // Observability outputs, written without announcing on stdout: the
+    // determinism tests diff batch output with these flags on vs. off.
+    if (!args.metrics_out.empty()) {
+      std::ofstream out(args.metrics_out);
+      if (!out) throw Error("cannot write " + args.metrics_out);
+      out << "{\"registry\":"
+          << obs::to_json(obs::Registry::global().snapshot())
+          << ",\"search\":"
+          << (search_json.empty() ? std::string("null") : search_json)
+          << "}\n";
+    }
+    if (tracer) {
+      obs::set_tracer(nullptr);
+      tracer->write(args.trace_out);
     }
     return 0;
   } catch (const fact::Error& e) {

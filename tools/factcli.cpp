@@ -14,6 +14,9 @@
 //   --stdin                  pipeline every line of stdin, print the
 //                            responses in request order
 //   --status | --shutdown    convenience one-shots
+//   --stats                  session/queue/cache inventory one-shot
+//   --metrics                Prometheus text scrape: sends a `metrics`
+//                            request and prints the response body raw
 //   (default)                build an optimize request from factc-style
 //                            flags: --benchmark/--source, --session,
 //                            --objective, --alloc, --clock, --seed,
@@ -65,7 +68,8 @@ struct Args {
   if (msg) fprintf(stderr, "factcli: %s\n", msg);
   fprintf(stderr,
           "usage: factcli (--unix <path> | --tcp-port <n> [--tcp-host <a>])\n"
-          "  --request '<json>' | --stdin | --status | --shutdown |\n"
+          "  --request '<json>' | --stdin | --status | --stats | --metrics |\n"
+          "  --shutdown |\n"
           "  [--type optimize|schedule|profile] --benchmark <NAME> | --source <f>\n"
           "  [--session <name>] [--objective throughput|power] [--alloc <spec>]\n"
           "  [--clock <ns>] [--seed <n>] [--validate off|fast|full]\n"
@@ -110,6 +114,8 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--request") a.raw_request = next();
     else if (arg == "--stdin") a.from_stdin = true;
     else if (arg == "--status") a.type = "status";
+    else if (arg == "--stats") a.type = "stats";
+    else if (arg == "--metrics") a.type = "metrics";
     else if (arg == "--shutdown") a.type = "shutdown";
     else if (arg == "--type") a.type = next();
     else if (arg == "--report") a.report_only = true;
@@ -139,7 +145,9 @@ std::string build_request(const Args& a) {
   Json req = Json::object();
   req.set("type", a.type);
   req.set("id", 1);
-  if (a.type == "status" || a.type == "shutdown") return req.dump();
+  if (a.type == "status" || a.type == "stats" || a.type == "metrics" ||
+      a.type == "shutdown")
+    return req.dump();
   if (!a.session.empty()) req.set("session", a.session);
   if (!a.benchmark.empty()) req.set("benchmark", a.benchmark);
   if (!a.source_path.empty()) {
@@ -197,7 +205,16 @@ int main(int argc, char** argv) {
         }
         const Json resp = Json::parse(line);
         if (!resp.get_bool("ok")) all_ok = false;
-        if (args.report_only) {
+        // A --metrics one-shot prints the Prometheus text body raw, ready
+        // for a scraper; everything else keeps the JSON line protocol.
+        if (args.type == "metrics" && args.raw_request.empty() &&
+            !args.from_stdin) {
+          if (const Json* body = resp.get("body"))
+            fputs(body->as_string().c_str(), stdout);
+          else
+            fprintf(stderr, "factcli: error: %s\n",
+                    resp.get_string("error", "unknown error").c_str());
+        } else if (args.report_only) {
           if (const Json* report = resp.get("report"))
             fputs(report->as_string().c_str(), stdout);
           else if (!resp.get_bool("ok"))

@@ -5,7 +5,7 @@
 // Line-delimited JSON over unix-domain and/or TCP sockets: one request
 // object per line, one response object per line, responses in request
 // order per connection. Request types: optimize, schedule, profile,
-// status, cancel, shutdown (see README "Running factd").
+// status, stats, metrics, cancel, shutdown (see README "Running factd").
 //
 // Options:
 //   --unix <path>       listen on a unix-domain socket
@@ -16,10 +16,16 @@
 //   --queue-cap <n>     bounded job queue length (default 256)
 //   --batch-max <n>     jobs dispatched per wave (default: pool threads)
 //   --cache-cap <n>     shared EvalCache capacity (default 262144)
+//   --stats-interval <s> print a periodic stats line every <s> seconds
 //   --quiet             no startup/shutdown banner
 
 #include <cstdio>
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <mutex>
 #include <string>
+#include <thread>
 
 #include "serve/server.hpp"
 #include "serve/service.hpp"
@@ -32,6 +38,7 @@ using namespace fact;
 struct Args {
   serve::ServiceOptions service;
   serve::ServerOptions server;
+  long stats_interval_s = 0;  // 0 = no periodic stats line
   bool quiet = false;
 };
 
@@ -40,7 +47,7 @@ struct Args {
   fprintf(stderr,
           "usage: factd [--unix <path>] [--tcp-port <n>] [--tcp-host <addr>]\n"
           "  [--workers <n>] [--queue-cap <n>] [--batch-max <n>]\n"
-          "  [--cache-cap <n>] [--quiet]\n");
+          "  [--cache-cap <n>] [--stats-interval <s>] [--quiet]\n");
   exit(2);
 }
 
@@ -81,6 +88,7 @@ Args parse_args(int argc, char** argv) {
     else if (arg == "--queue-cap") a.service.queue_cap = static_cast<size_t>(parse_long(next(), arg));
     else if (arg == "--batch-max") a.service.batch_max = static_cast<size_t>(parse_long(next(), arg));
     else if (arg == "--cache-cap") a.service.cache_cap = static_cast<size_t>(parse_long(next(), arg));
+    else if (arg == "--stats-interval") a.stats_interval_s = parse_long(next(), arg);
     else if (arg == "--quiet") a.quiet = true;
     else if (arg == "--help" || arg == "-h") usage();
     else usage(("unknown option " + arg).c_str());
@@ -106,7 +114,43 @@ int main(int argc, char** argv) {
       // Scripts wait for the banner before connecting.
       fflush(stdout);
     }
+
+    // Periodic operational stats on stderr (stdout stays protocol-clean
+    // for banner-watching scripts). Interruptible sleep so shutdown never
+    // waits out a full interval.
+    std::thread stats_thread;
+    std::mutex stats_mu;
+    std::condition_variable stats_cv;
+    bool stats_stop = false;
+    if (args.stats_interval_s > 0) {
+      stats_thread = std::thread([&] {
+        const auto interval = std::chrono::seconds(args.stats_interval_s);
+        std::unique_lock<std::mutex> lk(stats_mu);
+        while (!stats_cv.wait_for(lk, interval, [&] { return stats_stop; })) {
+          const serve::StatsSnapshot s = service.stats();
+          fprintf(stderr,
+                  "factd: stats uptime=%.0fms sessions=%zu queue=%zu "
+                  "in_flight=%zu completed=%llu failed=%llu cancelled=%llu "
+                  "evals=%llu cache=%zu/%zu\n",
+                  s.uptime_ms, s.sessions, s.queue_depth, s.in_flight,
+                  static_cast<unsigned long long>(s.completed),
+                  static_cast<unsigned long long>(s.failed),
+                  static_cast<unsigned long long>(s.cancelled),
+                  static_cast<unsigned long long>(s.evaluations),
+                  s.cache_entries, s.cache_cap);
+        }
+      });
+    }
+
     server.run();
+    if (stats_thread.joinable()) {
+      {
+        std::lock_guard<std::mutex> lk(stats_mu);
+        stats_stop = true;
+      }
+      stats_cv.notify_all();
+      stats_thread.join();
+    }
     if (!args.quiet) {
       const serve::StatsSnapshot s = service.stats();
       printf("factd: shutdown after %llu completed, %llu failed, "
